@@ -1,0 +1,33 @@
+"""E-CA: Section 3.1 option 4 — column-associative cache with polynomial rehash.
+
+Paper claim: with line swapping between the conventional and polynomial
+locations, about 90% of hits are detected on the first probe, so the average
+hit time is only slightly above one probe.
+"""
+
+import pytest
+
+from repro.experiments.column_assoc_study import run_column_assoc_study
+
+
+@pytest.mark.benchmark(group="column-assoc")
+def test_first_probe_hit_probability(benchmark, bench_accesses):
+    result = benchmark.pedantic(
+        lambda: run_column_assoc_study(accesses=bench_accesses),
+        rounds=1, iterations=1)
+
+    print()
+    print(result.render())
+
+    # Around 90% (or better) of hits land on the first probe.
+    assert result.mean_first_probe_hit_ratio() > 0.85
+    # The suite-average hit time is therefore close to a single probe; the
+    # worst individual program (the heavily conflicting swim model, which
+    # ping-pongs lines between its two locations) stays below 1.5 probes.
+    from repro.analysis.metrics import arithmetic_mean
+    assert arithmetic_mean(list(result.average_hit_time.values())) < 1.2
+    for program, hit_time in result.average_hit_time.items():
+        assert 1.0 <= hit_time < 1.5, program
+    # Probes per access stay well below 2 (most accesses hit first time).
+    for program, probes in result.average_probes.items():
+        assert probes < 1.9, program

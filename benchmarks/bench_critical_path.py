@@ -1,0 +1,55 @@
+"""E-CP: Section 3 / 3.4 — XOR-tree cost and carry-lookahead timing.
+
+Paper claims checked:
+
+* the per-bit XOR fan-in of the experiment's 7-bit index functions never
+  exceeds 5 (and 13-unmapped-bit configurations need only 3-4 inputs);
+* in a binary CLA over 64-bit addresses, the 19 bits the hash consumes are
+  ready after about 9 block delays versus about 11 for the full addition, so
+  the XOR stage fits in the slack.
+"""
+
+import pytest
+
+from repro.experiments.critical_path import run_critical_path_study
+
+
+@pytest.mark.benchmark(group="critical-path")
+def test_hardware_cost_and_cla_slack(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_critical_path_study(index_bit_widths=(7, 8),
+                                        address_bits=19,
+                                        hash_bit_widths=(13, 19)),
+        rounds=1, iterations=1)
+
+    print()
+    print(result.render())
+
+    seven_bit = result.costs["7-bit index / 19 address bits"]
+    assert seven_bit.max_fan_in <= 5
+    assert seven_bit.index_bits == 7
+    # The whole index needs only a handful of 2-input gates (order tens).
+    assert seven_bit.two_input_gates < 40
+
+    assert result.cla_delays[19]["low_bits_delay"] == 9
+    assert result.cla_delays[19]["full_add_delay"] == 11
+    assert result.cla_delays[19]["slack"] >= 1
+    # Fewer hash bits are available even earlier.
+    assert result.cla_delays[13]["low_bits_delay"] <= 9
+
+
+@pytest.mark.benchmark(group="critical-path")
+def test_index_function_evaluation_cost(benchmark):
+    """Micro-benchmark: raw cost of evaluating the I-Poly hash in Python."""
+    from repro.core.index import IPolyIndexing
+
+    fn = IPolyIndexing(128, ways=2, skewed=True, address_bits=19)
+
+    def evaluate():
+        total = 0
+        for block in range(0, 20_000):
+            total += fn.index(block, block & 1)
+        return total
+
+    total = benchmark(evaluate)
+    assert total > 0

@@ -1,0 +1,47 @@
+"""E-T2 / E-SD: regenerate Table 2 — IPC and load miss ratio, 18 programs x 6 configs.
+
+Paper claims checked here (shape, not absolute values — the programs are
+synthetic models):
+
+* I-Poly indexing cuts the combined-average load miss ratio substantially
+  (16.53% -> 9.68% in the paper);
+* the combined-average IPC ordering is
+  ``8K-conv <= 8K-ipoly-CP <= 8K-ipoly-noCP ~= 8K-ipoly-CP-pred``;
+* address prediction with the XOR stage on the critical path recovers the
+  performance of the XOR-free configuration;
+* the cross-suite standard deviation of miss ratios falls sharply
+  (18.49 -> 5.16 in the paper).
+"""
+
+import pytest
+
+from repro.experiments.table2 import miss_ratio_std_dev, run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_full_suite(benchmark, bench_instructions):
+    result = benchmark.pedantic(
+        lambda: run_table2(instructions=bench_instructions), rounds=1, iterations=1)
+
+    print()
+    print(result.render())
+    stds = miss_ratio_std_dev(result)
+    print(f"\nmiss-ratio std-dev: conventional={stds['8K-conv']:.2f} "
+          f"ipoly={stds['8K-ipoly-noCP']:.2f}")
+
+    ipc = result.ipc_table()
+    miss = result.miss_ratio_table()
+    combined = "Combined average"
+
+    # Miss-ratio reduction from I-Poly indexing.
+    assert miss.get(combined, "8K-ipoly-noCP") < miss.get(combined, "8K-conv") * 0.8
+    # IPC ordering of the configurations.
+    assert ipc.get(combined, "8K-ipoly-noCP") > ipc.get(combined, "8K-conv")
+    assert ipc.get(combined, "8K-ipoly-CP") <= ipc.get(combined, "8K-ipoly-noCP") + 1e-9
+    assert ipc.get(combined, "8K-ipoly-CP-pred") >= ipc.get(combined, "8K-ipoly-CP")
+    # Prediction recovers (or exceeds) the no-critical-path configuration.
+    assert ipc.get(combined, "8K-ipoly-CP-pred") >= ipc.get(combined, "8K-ipoly-noCP") - 0.02
+    # Doubling the cache helps the conventional configuration.
+    assert ipc.get(combined, "16K-conv") >= ipc.get(combined, "8K-conv")
+    # Std-dev of miss ratios falls with I-Poly indexing (the E-SD claim).
+    assert stds["8K-ipoly-noCP"] < stds["8K-conv"] * 0.6

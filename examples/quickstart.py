@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: compare conventional and I-Poly cache indexing in a few lines.
+
+This example builds two otherwise-identical 8 KB two-way caches — one with
+conventional bit-selection indexing, one with the paper's skewed I-Poly
+(irreducible polynomial) indexing — and drives both with a deliberately
+nasty access pattern: a vector traversed with a power-of-two stride, the
+classic conventional-cache killer.
+
+Run it with::
+
+    python examples/quickstart.py
+
+Expected outcome: the conventional cache thrashes (miss ratio near 100%
+after the first sweep) while the I-Poly cache behaves as if the stride were
+benign, exactly the property Figure 1 of the paper demonstrates.
+"""
+
+from repro.cache import SetAssociativeCache
+from repro.core import IPolyIndexing, derive_xor_matrix, poly_to_string
+from repro.trace import strided_vector
+
+
+def build_caches():
+    """Build the two caches being compared (8 KB, 2-way, 32-byte lines)."""
+    conventional = SetAssociativeCache(size_bytes=8 * 1024, block_size=32, ways=2)
+    ipoly_index = IPolyIndexing(num_sets=128, ways=2, skewed=True, address_bits=19)
+    ipoly = SetAssociativeCache(size_bytes=8 * 1024, block_size=32, ways=2,
+                                index_function=ipoly_index)
+    return conventional, ipoly
+
+
+def main():
+    conventional, ipoly = build_caches()
+
+    # A 64-element vector of 8-byte values, elements 512 bytes apart (stride
+    # 64), traversed eight times — each element lands in the same set of a
+    # conventionally indexed cache.
+    stride = 64
+    for access in strided_vector(stride=stride, elements=64, sweeps=8):
+        conventional.access(access.address, is_write=access.is_write)
+        ipoly.access(access.address, is_write=access.is_write)
+
+    print("Workload: 64-element vector, stride "
+          f"{stride} elements ({stride * 8} bytes), 8 sweeps\n")
+    print(f"{'cache':<28}{'miss ratio':>12}")
+    for cache in (conventional, ipoly):
+        print(f"{cache.name:<28}{cache.stats.miss_ratio:>11.1%}")
+
+    # Peek at the hardware the I-Poly index function implies: one small XOR
+    # tree per index bit.
+    index_fn = ipoly.index_function
+    matrix = derive_xor_matrix(index_fn)
+    cost = matrix.cost()
+    print(f"\nI-Poly modulus polynomial (way 0): "
+          f"{poly_to_string(index_fn.polynomial_for_way(0))}")
+    print(f"XOR implementation: {cost.index_bits} trees, max fan-in "
+          f"{cost.max_fan_in}, {cost.two_input_gates} two-input gates, "
+          f"depth {cost.tree_depth_gates} gate levels")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Tiled matrix multiply: conflict misses that depend on the matrix dimension.
+
+The paper's conclusions point at blocked (tiled) scientific kernels as a
+prime beneficiary of conflict-avoiding caches: tiling is done to exploit
+locality, but with a conventional cache the conflicts *between* the tiles of
+A, B and C depend on the array dimensions — a power-of-two matrix size can
+ruin an otherwise perfectly tiled loop nest, forcing programmers to compute
+"conflict-free" tile sizes or pad their arrays.  An I-Poly cache removes the
+dimension sensitivity.
+
+This example runs the same blocked matrix-multiply reference stream over a
+conventional and an I-Poly 8 KB cache for a power-of-two dimension (n = 64)
+and a padded dimension (n = 65), and shows that:
+
+* the conventional cache's miss ratio swings wildly between the two
+  dimensions (the padding "fixes" it);
+* the I-Poly cache gives roughly the padded behaviour for both, without any
+  padding.
+
+Run it with::
+
+    python examples/tiled_matmul.py
+"""
+
+from repro.cache import MissKind, SetAssociativeCache
+from repro.core import IPolyIndexing
+from repro.trace import tiled_matrix_multiply
+
+
+def run(cache, n, tile):
+    """Drive one cache with the blocked matmul stream; return (miss%, conflict%)."""
+    for access in tiled_matrix_multiply(n=n, tile=tile):
+        cache.access(access.address, is_write=access.is_write)
+    stats = cache.stats
+    return 100 * stats.miss_ratio, 100 * stats.conflict_miss_ratio
+
+
+def build(scheme):
+    if scheme == "conventional":
+        return SetAssociativeCache(8 * 1024, 32, 2, classify_misses=True)
+    index = IPolyIndexing(num_sets=128, ways=2, skewed=True, address_bits=19)
+    return SetAssociativeCache(8 * 1024, 32, 2, index_function=index,
+                               classify_misses=True)
+
+
+def main():
+    tile = 16
+    print(f"Blocked matrix multiply, tile={tile}, 8 KB 2-way cache, 32 B lines\n")
+    print(f"{'n':>4}  {'indexing':<14}{'miss ratio':>12}{'conflict part':>15}")
+    for n in (64, 65):
+        for scheme in ("conventional", "ipoly"):
+            cache = build(scheme)
+            miss, conflict = run(cache, n, tile)
+            print(f"{n:>4}  {scheme:<14}{miss:>11.1f}%{conflict:>14.1f}%")
+        print()
+
+    print("With conventional indexing the power-of-two dimension (n=64) makes")
+    print("the tiles of A, B and C collide; padding to n=65 fixes it.  The")
+    print("I-Poly cache gives the padded behaviour for both dimensions, which")
+    print("is the paper's argument that it frees programmers and compilers")
+    print("from computing conflict-free tile sizes.")
+
+
+if __name__ == "__main__":
+    main()

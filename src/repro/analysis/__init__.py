@@ -1,0 +1,28 @@
+"""Analysis utilities: aggregation metrics, histograms and report formatting."""
+
+from .histograms import MissRatioHistogram, compare_histograms
+from .metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    percent_change,
+    speedup,
+    std_deviation,
+    summarise_ipc,
+    summarise_miss_ratios,
+)
+from .reporting import TableBuilder, format_csv, format_table
+
+__all__ = [
+    "MissRatioHistogram",
+    "compare_histograms",
+    "arithmetic_mean",
+    "geometric_mean",
+    "std_deviation",
+    "percent_change",
+    "speedup",
+    "summarise_miss_ratios",
+    "summarise_ipc",
+    "TableBuilder",
+    "format_csv",
+    "format_table",
+]

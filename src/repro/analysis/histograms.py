@@ -1,0 +1,107 @@
+"""Histogramming of miss ratios (Figure 1).
+
+Figure 1 of the paper is a frequency distribution: for each indexing scheme,
+how many of the 4096 tested strides fall into each miss-ratio decile?  A
+conflict-resistant function concentrates all its mass in the lowest bucket; a
+fragile one has a visible tail of pathological strides (miss ratio > 50%).
+
+:class:`MissRatioHistogram` reproduces that bucketing (ten 0.1-wide bins plus
+helpers for the "pathological" tail the text quotes) and renders a compact
+ASCII view with a logarithmic frequency axis like the figure's log scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["MissRatioHistogram", "compare_histograms"]
+
+
+@dataclass
+class MissRatioHistogram:
+    """Frequency distribution of miss ratios over a set of experiments.
+
+    The default ten buckets follow Figure 1's x-axis: bucket ``i`` counts
+    experiments whose miss ratio ``r`` satisfies ``i/10 < r <= (i+1)/10``,
+    with ratios of exactly zero landing in the first bucket.
+    """
+
+    num_buckets: int = 10
+    label: str = ""
+    counts: List[int] = field(default_factory=list)
+    total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_buckets < 1:
+            raise ValueError("num_buckets must be positive")
+        if not self.counts:
+            self.counts = [0] * self.num_buckets
+        elif len(self.counts) != self.num_buckets:
+            raise ValueError("counts length must equal num_buckets")
+
+    def bucket_of(self, miss_ratio: float) -> int:
+        """Index of the bucket a miss ratio falls into."""
+        if not 0.0 <= miss_ratio <= 1.0:
+            raise ValueError(f"miss ratio must be in [0, 1], got {miss_ratio}")
+        if miss_ratio == 0.0:
+            return 0
+        return min(self.num_buckets - 1,
+                   int(math.ceil(miss_ratio * self.num_buckets)) - 1)
+
+    def add(self, miss_ratio: float) -> None:
+        """Record one experiment's miss ratio."""
+        self.counts[self.bucket_of(miss_ratio)] += 1
+        self.total += 1
+
+    def add_all(self, miss_ratios: Sequence[float]) -> None:
+        """Record many miss ratios."""
+        for ratio in miss_ratios:
+            self.add(ratio)
+
+    def bucket_edges(self) -> List[float]:
+        """Upper edge of each bucket (Figure 1's x labels: 0.1, 0.2, ... 1.0)."""
+        return [(i + 1) / self.num_buckets for i in range(self.num_buckets)]
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of experiments with miss ratio strictly above ``threshold``.
+
+        The paper quotes the fraction of strides with miss ratio above 50%
+        ("more than 6% of all strides" for the conventional and skewed-XOR
+        schemes, none for skewed I-Poly).
+        """
+        if self.total == 0:
+            return 0.0
+        first_bucket = self.bucket_of(min(1.0, threshold + 1e-9))
+        # Buckets strictly above the threshold bucket are certainly above;
+        # the threshold bucket itself is included only when the threshold
+        # coincides with one of its edges (the Figure 1 use-case: 0.5).
+        start = first_bucket
+        if math.isclose(threshold * self.num_buckets,
+                        round(threshold * self.num_buckets)):
+            start = int(round(threshold * self.num_buckets))
+        return sum(self.counts[start:]) / self.total
+
+    def as_dict(self) -> Dict[float, int]:
+        """Map from bucket upper edge to count."""
+        return dict(zip(self.bucket_edges(), self.counts))
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering with a log-scaled bar per bucket (like Figure 1)."""
+        lines = [f"{self.label or 'miss-ratio distribution'} ({self.total} samples)"]
+        max_count = max(self.counts) if any(self.counts) else 1
+        log_max = math.log10(max_count + 1)
+        for edge, count in zip(self.bucket_edges(), self.counts):
+            bar_len = 0
+            if count > 0 and log_max > 0:
+                bar_len = max(1, int(round(width * math.log10(count + 1) / log_max)))
+            lines.append(f"  <= {edge:4.1f}  {count:6d}  {'#' * bar_len}")
+        return "\n".join(lines)
+
+
+def compare_histograms(histograms: Sequence[MissRatioHistogram],
+                       threshold: float = 0.5) -> Dict[str, float]:
+    """Fraction of pathological samples (above ``threshold``) per labelled histogram."""
+    return {h.label or f"scheme-{i}": h.fraction_above(threshold)
+            for i, h in enumerate(histograms)}

@@ -1,0 +1,139 @@
+"""Report formatting: ASCII tables and CSV emitters.
+
+The experiment drivers produce dictionaries of per-program metrics; this
+module turns them into the row/column layout the paper's Tables 2 and 3 use,
+so a benchmark run prints something directly comparable to the published
+tables.  Output is plain text (and optionally CSV) — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_csv", "TableBuilder"]
+
+Number = Union[int, float]
+Cell = Union[str, Number, None]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 precision: int = 2, title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered = [[_format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+               precision: int = 4) -> str:
+    """Render rows as CSV text (no external csv module quirks, values are simple)."""
+    buffer = io.StringIO()
+    buffer.write(",".join(headers) + "\n")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        buffer.write(",".join(_format_cell(c, precision) for c in row) + "\n")
+    return buffer.getvalue()
+
+
+class TableBuilder:
+    """Accumulates named rows of named columns, then renders them.
+
+    This matches how the experiment drivers work: they compute one row per
+    program (plus average rows), each with a metric per configuration, and
+    want the columns in a fixed order regardless of insertion order.
+    """
+
+    def __init__(self, columns: Sequence[str], row_label: str = "program") -> None:
+        if not columns:
+            raise ValueError("at least one column is required")
+        self._columns = list(columns)
+        self._row_label = row_label
+        self._rows: List[str] = []
+        self._data: Dict[str, Dict[str, Cell]] = {}
+
+    @property
+    def columns(self) -> List[str]:
+        """Column names, in display order."""
+        return list(self._columns)
+
+    @property
+    def row_names(self) -> List[str]:
+        """Row names, in insertion order."""
+        return list(self._rows)
+
+    def add_row(self, name: str, values: Optional[Mapping[str, Cell]] = None) -> None:
+        """Add (or extend) a row from a column->value mapping."""
+        if name not in self._data:
+            self._data[name] = {}
+            self._rows.append(name)
+        if values:
+            unknown = set(values) - set(self._columns)
+            if unknown:
+                raise KeyError(f"unknown columns {sorted(unknown)}")
+            self._data[name].update(values)
+
+    def set(self, row: str, column: str, value: Cell) -> None:
+        """Set one cell, creating the row on demand."""
+        if column not in self._columns:
+            raise KeyError(f"unknown column {column!r}")
+        self.add_row(row)
+        self._data[row][column] = value
+
+    def get(self, row: str, column: str) -> Cell:
+        """Read one cell (None when unset)."""
+        return self._data.get(row, {}).get(column)
+
+    def column_values(self, column: str, rows: Optional[Sequence[str]] = None) -> List[float]:
+        """Numeric values of a column over the given rows (skips unset cells)."""
+        rows = list(rows) if rows is not None else self._rows
+        values = []
+        for row in rows:
+            value = self.get(row, column)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values.append(float(value))
+        return values
+
+    def as_rows(self) -> List[List[Cell]]:
+        """Materialise the table as a list of rows including the row-name column."""
+        return [[name] + [self._data[name].get(col) for col in self._columns]
+                for name in self._rows]
+
+    def render(self, precision: int = 2, title: str = "") -> str:
+        """Render as an ASCII table."""
+        return format_table([self._row_label] + self._columns, self.as_rows(),
+                            precision=precision, title=title)
+
+    def render_csv(self, precision: int = 4) -> str:
+        """Render as CSV."""
+        return format_csv([self._row_label] + self._columns, self.as_rows(),
+                          precision=precision)

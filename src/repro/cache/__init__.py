@@ -1,0 +1,54 @@
+"""Cache simulators: single-level organisations and multi-level hierarchies.
+
+Everything in this package is driven by block-level accesses and is
+independent of where the addresses come from (synthetic traces or the
+processor model).  The placement function is always injected from
+:mod:`repro.core`, which is what lets a single cache model cover the paper's
+conventional, skewed-XOR and I-Poly organisations.
+"""
+
+from .block import CacheBlock
+from .column_assoc import ColumnAssociativeCache, ColumnAssociativeResult
+from .fully_assoc import FullyAssociativeCache
+from .hierarchy import HierarchyAccessResult, TwoLevelHierarchy
+from .mshr import MSHRAllocation, MSHREntry, MSHRFile
+from .replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    TreePLRUReplacement,
+    make_replacement_policy,
+)
+from .set_assoc import AccessResult, SetAssociativeCache, WritePolicy
+from .stats import CacheStats, MissClassifier, MissKind
+from .victim import VictimCache, VictimCacheResult
+from .virtual_real import VirtualRealAccessResult, VirtualRealHierarchy
+
+__all__ = [
+    "CacheBlock",
+    "AccessResult",
+    "SetAssociativeCache",
+    "WritePolicy",
+    "FullyAssociativeCache",
+    "VictimCache",
+    "VictimCacheResult",
+    "ColumnAssociativeCache",
+    "ColumnAssociativeResult",
+    "TwoLevelHierarchy",
+    "HierarchyAccessResult",
+    "VirtualRealHierarchy",
+    "VirtualRealAccessResult",
+    "MSHRFile",
+    "MSHREntry",
+    "MSHRAllocation",
+    "ReplacementPolicy",
+    "LRUReplacement",
+    "FIFOReplacement",
+    "RandomReplacement",
+    "TreePLRUReplacement",
+    "make_replacement_policy",
+    "CacheStats",
+    "MissClassifier",
+    "MissKind",
+]

@@ -1,0 +1,74 @@
+"""Cache line (block) state.
+
+A cache stores fixed-size blocks of memory.  Each frame in the cache either
+holds a valid block — identified here by its *block number*, i.e. the memory
+address divided by the block size — or is empty.  The frame also carries the
+bookkeeping needed by replacement policies (insertion and last-use times) and
+by write-back caches (the dirty bit).
+
+Keeping the whole block number rather than a (tag, set) split makes the model
+independent of the index function: with pseudo-random placement the set index
+cannot be recovered from the tag alone, so the simulator simply stores the
+full identity of the resident block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["CacheBlock"]
+
+
+@dataclass
+class CacheBlock:
+    """One cache frame.
+
+    Attributes
+    ----------
+    block_number:
+        Memory block currently resident, or ``None`` when the frame is empty.
+    dirty:
+        True when the frame holds data newer than memory (write-back caches).
+    inserted_at:
+        Access sequence number at which the current block was filled.
+    last_used_at:
+        Access sequence number of the most recent hit or fill.
+    rehashed:
+        Used by the column-associative cache: True when the block lives at
+        its secondary (polynomial) location rather than its primary one.
+    """
+
+    block_number: Optional[int] = None
+    dirty: bool = False
+    inserted_at: int = 0
+    last_used_at: int = 0
+    rehashed: bool = False
+
+    @property
+    def valid(self) -> bool:
+        """True when the frame holds a block."""
+        return self.block_number is not None
+
+    def fill(self, block_number: int, now: int, dirty: bool = False,
+             rehashed: bool = False) -> None:
+        """Install ``block_number`` into this frame."""
+        if block_number < 0:
+            raise ValueError("block_number must be non-negative")
+        self.block_number = block_number
+        self.dirty = dirty
+        self.inserted_at = now
+        self.last_used_at = now
+        self.rehashed = rehashed
+
+    def touch(self, now: int) -> None:
+        """Record a use of the resident block (for LRU bookkeeping)."""
+        if not self.valid:
+            raise ValueError("cannot touch an invalid cache frame")
+        self.last_used_at = now
+
+    def invalidate(self) -> None:
+        """Empty the frame."""
+        self.block_number = None
+        self.dirty = False
+        self.rehashed = False

@@ -1,0 +1,49 @@
+"""Fully-associative cache.
+
+A fully-associative cache is the limiting case of associativity: any block
+may live in any frame, so conflict misses are impossible by construction.
+The paper's Section 2.1 uses it as the yard-stick the I-Poly cache is
+measured against (8 KB fully-associative ~ 6.80% miss ratio on Spec95 versus
+7.14% for the I-Poly cache of the same size).
+
+The implementation reuses :class:`~repro.cache.set_assoc.SetAssociativeCache`
+with a single set whose associativity equals the number of blocks, which
+keeps the statistics and write-policy behaviour identical across organisations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.index import SingleSetIndexing
+from .replacement import ReplacementPolicy
+from .set_assoc import SetAssociativeCache, WritePolicy
+
+__all__ = ["FullyAssociativeCache"]
+
+
+class FullyAssociativeCache(SetAssociativeCache):
+    """A fully-associative cache of ``size_bytes / block_size`` frames."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        block_size: int,
+        replacement: Optional[ReplacementPolicy] = None,
+        write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+        classify_misses: bool = False,
+        name: str = "",
+    ) -> None:
+        if block_size < 1 or size_bytes % block_size:
+            raise ValueError("size_bytes must be a multiple of block_size")
+        ways = size_bytes // block_size
+        super().__init__(
+            size_bytes=size_bytes,
+            block_size=block_size,
+            ways=ways,
+            index_function=SingleSetIndexing(),
+            replacement=replacement,
+            write_policy=write_policy,
+            classify_misses=classify_misses,
+            name=name or f"{size_bytes // 1024}KB-full",
+        )

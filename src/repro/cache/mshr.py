@@ -1,0 +1,139 @@
+"""Miss Status Holding Registers (MSHRs) for a lockup-free cache.
+
+The paper's processor model uses a lockup-free data cache (Kroft, ISCA 1981)
+that "allows 8 outstanding misses to different cache lines".  The MSHR file
+is the structure that makes that possible: each entry tracks one in-flight
+line fill, and further misses to the same line are *merged* into the existing
+entry instead of occupying a new one (a "secondary miss").
+
+The model is timing-agnostic — the processor pipeline decides when fills
+complete — but enforces the structural limits: a bounded number of entries
+and a bounded number of merged requests per entry.  When either limit is hit
+the cache must stall, which the pipeline models as a structural hazard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["MSHREntry", "MSHRFile", "MSHRAllocation"]
+
+
+@dataclass
+class MSHREntry:
+    """One in-flight line fill.
+
+    ``waiters`` holds opaque tags supplied by the requester (typically ROB or
+    load/store-queue entry ids) so the pipeline can wake the right
+    instructions when the fill completes.
+    """
+
+    block_number: int
+    issued_at: int
+    ready_at: Optional[int] = None
+    is_prefetch: bool = False
+    waiters: List[int] = field(default_factory=list)
+
+
+class MSHRAllocation:
+    """Result labels returned by :meth:`MSHRFile.allocate`."""
+
+    NEW = "new"            # a fresh entry was allocated (primary miss)
+    MERGED = "merged"      # an existing entry absorbed the request (secondary miss)
+    FULL = "full"          # no entry available: structural stall
+    MERGE_FULL = "merge-full"  # entry exists but its waiter list is full
+
+
+class MSHRFile:
+    """A bounded file of MSHR entries with per-line merging."""
+
+    def __init__(self, num_entries: int = 8, max_merged: int = 4) -> None:
+        if num_entries < 1:
+            raise ValueError("num_entries must be positive")
+        if max_merged < 1:
+            raise ValueError("max_merged must be positive")
+        self._num_entries = num_entries
+        self._max_merged = max_merged
+        self._entries: Dict[int, MSHREntry] = {}
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.structural_stalls = 0
+
+    @property
+    def num_entries(self) -> int:
+        """Capacity of the MSHR file."""
+        return self._num_entries
+
+    @property
+    def occupancy(self) -> int:
+        """Number of entries currently in flight."""
+        return self._entries.values().__len__()
+
+    @property
+    def is_full(self) -> bool:
+        """True when no new line fill can be tracked."""
+        return len(self._entries) >= self._num_entries
+
+    def outstanding_blocks(self) -> List[int]:
+        """Block numbers currently being fetched."""
+        return list(self._entries)
+
+    def lookup(self, block_number: int) -> Optional[MSHREntry]:
+        """Return the in-flight entry for ``block_number``, if any."""
+        return self._entries.get(block_number)
+
+    def allocate(self, block_number: int, now: int, waiter: Optional[int] = None,
+                 ready_at: Optional[int] = None,
+                 is_prefetch: bool = False) -> str:
+        """Register a miss for ``block_number``.
+
+        Returns one of the :class:`MSHRAllocation` labels.  ``ready_at`` lets
+        the caller fix the completion time up front (fixed-latency memory);
+        it can also be set later via :meth:`set_ready`.
+        """
+        entry = self._entries.get(block_number)
+        if entry is not None:
+            if len(entry.waiters) >= self._max_merged:
+                self.structural_stalls += 1
+                return MSHRAllocation.MERGE_FULL
+            if waiter is not None:
+                entry.waiters.append(waiter)
+            self.secondary_misses += 1
+            return MSHRAllocation.MERGED
+        if self.is_full:
+            self.structural_stalls += 1
+            return MSHRAllocation.FULL
+        entry = MSHREntry(block_number=block_number, issued_at=now,
+                          ready_at=ready_at, is_prefetch=is_prefetch)
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self._entries[block_number] = entry
+        self.primary_misses += 1
+        return MSHRAllocation.NEW
+
+    def set_ready(self, block_number: int, ready_at: int) -> None:
+        """Fix the completion time of an in-flight fill."""
+        entry = self._entries.get(block_number)
+        if entry is None:
+            raise KeyError(f"no MSHR entry for block {block_number}")
+        entry.ready_at = ready_at
+
+    def completed(self, now: int) -> List[MSHREntry]:
+        """Pop and return every entry whose fill has completed by ``now``."""
+        done = [e for e in self._entries.values()
+                if e.ready_at is not None and e.ready_at <= now]
+        for entry in done:
+            del self._entries[entry.block_number]
+        return done
+
+    def release(self, block_number: int) -> MSHREntry:
+        """Explicitly retire the entry for ``block_number`` (e.g. on squash)."""
+        try:
+            return self._entries.pop(block_number)
+        except KeyError:
+            raise KeyError(f"no MSHR entry for block {block_number}") from None
+
+    def flush(self) -> None:
+        """Drop all in-flight entries (pipeline squash / cache flush)."""
+        self._entries.clear()

@@ -1,0 +1,208 @@
+"""Replacement policies.
+
+When a block must be brought into a full set (or, in a skewed cache, when all
+candidate frames across the ways are occupied), the replacement policy picks
+the victim.  The paper's experiments use LRU; FIFO, random and tree-PLRU are
+provided for ablation studies because pseudo-random placement interacts with
+replacement (a skewed cache cannot implement true per-set LRU cheaply in
+hardware, which is why PLRU and random are interesting comparison points).
+
+Policies are stateless objects: all the state they need (insertion and
+last-use timestamps) lives in the :class:`~repro.cache.block.CacheBlock`
+frames themselves, except for the tree-PLRU bits which the policy keeps in a
+small per-set table of its own.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+from .block import CacheBlock
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUReplacement",
+    "FIFOReplacement",
+    "RandomReplacement",
+    "TreePLRUReplacement",
+    "make_replacement_policy",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses a victim among candidate frames and observes accesses."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose_victim(
+        self,
+        candidates: Sequence[Tuple[int, int, CacheBlock]],
+    ) -> Tuple[int, int]:
+        """Pick the frame to evict.
+
+        ``candidates`` is a sequence of ``(way, set_index, frame)`` tuples —
+        one entry per way for a skewed cache, or the frames of a single set
+        for a conventional cache.  Invalid frames are never passed here (the
+        cache fills them first).  Returns the ``(way, set_index)`` of the
+        victim.
+        """
+
+    def on_access(self, way: int, set_index: int, frame: CacheBlock, now: int) -> None:
+        """Observe a hit or fill (default: no extra state)."""
+
+    def on_invalidate(self, way: int, set_index: int) -> None:
+        """Observe an invalidation (default: no extra state)."""
+
+    def reset(self) -> None:
+        """Forget any internal state (called by ``Cache.flush``)."""
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Evict the least recently used candidate (the paper's default)."""
+
+    name = "lru"
+
+    def choose_victim(self, candidates):
+        way, set_index, _ = min(candidates, key=lambda c: (c[2].last_used_at, c[0]))
+        return way, set_index
+
+
+class FIFOReplacement(ReplacementPolicy):
+    """Evict the candidate that was filled longest ago."""
+
+    name = "fifo"
+
+    def choose_victim(self, candidates):
+        way, set_index, _ = min(candidates, key=lambda c: (c[2].inserted_at, c[0]))
+        return way, set_index
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Evict a pseudo-randomly chosen candidate.
+
+    Uses a deterministic xorshift generator seeded at construction so that
+    simulations are reproducible run-to-run.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0x2545F4914F6CDD1D) -> None:
+        if seed == 0:
+            raise ValueError("seed must be non-zero for xorshift")
+        self._seed = seed
+        self._state = seed
+
+    def _next(self) -> int:
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self._state = x
+        return x
+
+    def choose_victim(self, candidates):
+        pick = self._next() % len(candidates)
+        way, set_index, _ = candidates[pick]
+        return way, set_index
+
+    def reset(self) -> None:
+        self._state = self._seed
+
+
+class TreePLRUReplacement(ReplacementPolicy):
+    """Tree pseudo-LRU over the ways of each set.
+
+    Maintains a binary tree of direction bits per set index; on each access
+    the bits along the path to the touched way are flipped to point away from
+    it, and the victim is found by following the bits.  Only meaningful for
+    non-skewed caches where all candidates share one set index; for skewed
+    candidates (differing set indices) it falls back to true LRU, since the
+    hardware analogue would keep per-bank state that the frames already
+    capture via timestamps.
+    """
+
+    name = "plru"
+
+    def __init__(self) -> None:
+        self._bits: Dict[Tuple[int, int], List[bool]] = {}
+
+    @staticmethod
+    def _tree_size(ways: int) -> int:
+        return max(ways - 1, 1)
+
+    def _state_for(self, set_index: int, ways: int) -> List[bool]:
+        key = (set_index, ways)
+        if key not in self._bits:
+            self._bits[key] = [False] * self._tree_size(ways)
+        return self._bits[key]
+
+    def on_access(self, way: int, set_index: int, frame: CacheBlock, now: int) -> None:
+        ways = self._ways_hint
+        if ways is None or ways < 2:
+            return
+        bits = self._state_for(set_index, ways)
+        node = 0
+        low, high = 0, ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            go_right = way >= mid
+            bits[node] = not go_right  # point away from the touched half
+            node = 2 * node + (2 if go_right else 1)
+            if node - 1 >= len(bits):
+                break
+            low, high = (mid, high) if go_right else (low, mid)
+
+    def choose_victim(self, candidates):
+        set_indices = {c[1] for c in candidates}
+        if len(set_indices) != 1:
+            # Skewed cache: candidates live in different sets; use LRU.
+            way, set_index, _ = min(candidates, key=lambda c: (c[2].last_used_at, c[0]))
+            return way, set_index
+        ways = len(candidates)
+        self._ways_hint = ways
+        set_index = candidates[0][1]
+        bits = self._state_for(set_index, ways)
+        node = 0
+        low, high = 0, ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            go_right = bits[node] if node < len(bits) else False
+            node = 2 * node + (2 if go_right else 1)
+            low, high = (mid, high) if go_right else (low, mid)
+            if node - 1 >= len(bits):
+                break
+        victim_way = low
+        ordered = sorted(candidates, key=lambda c: c[0])
+        way, set_index, _ = ordered[min(victim_way, ways - 1)]
+        return way, set_index
+
+    #: number of ways of the owning cache; set lazily by choose_victim and
+    #: consulted by on_access.  None until the first replacement decision.
+    _ways_hint = None
+
+    def on_invalidate(self, way: int, set_index: int) -> None:
+        pass
+
+    def reset(self) -> None:
+        self._bits.clear()
+        self._ways_hint = None
+
+
+_POLICIES = {
+    "lru": LRUReplacement,
+    "fifo": FIFOReplacement,
+    "random": RandomReplacement,
+    "plru": TreePLRUReplacement,
+}
+
+
+def make_replacement_policy(name: str) -> ReplacementPolicy:
+    """Build a replacement policy from its short name (``lru``, ``fifo``, ``random``, ``plru``)."""
+    try:
+        return _POLICIES[name.strip().lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,350 @@
+"""Set-associative cache model with pluggable placement functions.
+
+This is the workhorse cache simulator of the reproduction.  A single class
+covers every organisation the paper's Figure 1 compares — conventional
+(``a2``), skewed-associative XOR (``a2-Hx-Sk``) and I-Poly with or without
+skewing (``a2-Hp``, ``a2-Hp-Sk``) — because the only difference between them
+is the :class:`~repro.core.index.IndexFunction` supplied at construction.
+
+The storage model is "ways x sets" frames.  For a conventional cache every
+way uses the same set index; for a skewed cache each way computes its own.
+Replacement chooses among the candidate frames (one per way).  Write policy
+is either write-through / no-write-allocate (the paper's L1 configuration) or
+write-back / write-allocate (used for L2 and for the victim-cache study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.index import BitSelectIndexing, IndexFunction
+from .block import CacheBlock
+from .replacement import LRUReplacement, ReplacementPolicy
+from .stats import CacheStats, MissClassifier
+
+__all__ = ["AccessResult", "WritePolicy", "SetAssociativeCache"]
+
+
+class WritePolicy:
+    """Write-policy labels (plain strings for readability in configs)."""
+
+    WRITE_THROUGH_NO_ALLOCATE = "write-through-no-allocate"
+    WRITE_BACK_ALLOCATE = "write-back-allocate"
+
+    ALL = (WRITE_THROUGH_NO_ALLOCATE, WRITE_BACK_ALLOCATE)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the access hit.
+    block_number:
+        The block that was accessed.
+    way, set_index:
+        Frame that hit or was filled; ``None`` when a store miss does not
+        allocate (write-through / no-write-allocate policy).
+    evicted_block:
+        Block number displaced to make room, or ``None``.
+    writeback:
+        True when the evicted block was dirty and must be written back.
+    miss_kind:
+        3C classification of the miss (``None`` on hits or when the cache was
+        built without a classifier).
+    """
+
+    hit: bool
+    block_number: int
+    way: Optional[int] = None
+    set_index: Optional[int] = None
+    evicted_block: Optional[int] = None
+    writeback: bool = False
+    miss_kind: Optional[str] = None
+
+
+class SetAssociativeCache:
+    """A (possibly skewed) set-associative cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    block_size:
+        Line size in bytes (power of two).
+    ways:
+        Associativity.
+    index_function:
+        Placement function; defaults to conventional bit selection over
+        ``size_bytes / (block_size * ways)`` sets.
+    replacement:
+        Replacement policy; defaults to LRU.
+    write_policy:
+        One of :class:`WritePolicy`; defaults to the paper's L1 policy
+        (write-through, no-write-allocate).
+    classify_misses:
+        When true, a shadow fully-associative model classifies every miss as
+        compulsory / capacity / conflict (slower, but required for the
+        conflict-miss analyses).
+    name:
+        Optional label used in reports.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        block_size: int,
+        ways: int,
+        index_function: Optional[IndexFunction] = None,
+        replacement: Optional[ReplacementPolicy] = None,
+        write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+        classify_misses: bool = False,
+        name: str = "",
+    ) -> None:
+        if block_size < 1 or block_size & (block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if ways < 1:
+            raise ValueError("ways must be at least 1")
+        if size_bytes < block_size * ways:
+            raise ValueError("cache must hold at least one set")
+        if size_bytes % (block_size * ways):
+            raise ValueError(
+                "size_bytes must be a multiple of block_size * ways "
+                f"({block_size * ways}), got {size_bytes}"
+            )
+        if write_policy not in WritePolicy.ALL:
+            raise ValueError(f"unknown write policy {write_policy!r}")
+
+        self._size_bytes = size_bytes
+        self._block_size = block_size
+        self._ways = ways
+        self._num_sets = size_bytes // (block_size * ways)
+        if self._num_sets & (self._num_sets - 1):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self._num_sets}"
+            )
+        self._offset_bits = block_size.bit_length() - 1
+
+        if index_function is None:
+            index_function = BitSelectIndexing(self._num_sets)
+        if index_function.num_sets != self._num_sets:
+            raise ValueError(
+                f"index function covers {index_function.num_sets} sets but the "
+                f"cache has {self._num_sets}"
+            )
+        self._index_fn = index_function
+        self._replacement = replacement if replacement is not None else LRUReplacement()
+        self._write_policy = write_policy
+        self._name = name or f"{size_bytes // 1024}KB-{ways}way-{index_function.name}"
+
+        self._frames: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(self._num_sets)] for _ in range(ways)
+        ]
+        self._clock = 0
+        self.stats = CacheStats()
+        self._classifier = (
+            MissClassifier(self.num_blocks) if classify_misses else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """Human-readable label for reports."""
+        return self._name
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self._size_bytes
+
+    @property
+    def block_size(self) -> int:
+        """Line size in bytes."""
+        return self._block_size
+
+    @property
+    def ways(self) -> int:
+        """Associativity."""
+        return self._ways
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets per way."""
+        return self._num_sets
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of frames."""
+        return self._num_sets * self._ways
+
+    @property
+    def index_function(self) -> IndexFunction:
+        """The placement function in use."""
+        return self._index_fn
+
+    @property
+    def write_policy(self) -> str:
+        """The configured write policy."""
+        return self._write_policy
+
+    def block_number_of(self, address: int) -> int:
+        """Map a byte address to its block number."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        return address >> self._offset_bits
+
+    # ------------------------------------------------------------------ #
+    # lookup / modify
+    # ------------------------------------------------------------------ #
+
+    def contains(self, address: int) -> bool:
+        """Return True if the block containing ``address`` is resident."""
+        return self._find(self.block_number_of(address)) is not None
+
+    def contains_block(self, block_number: int) -> bool:
+        """Return True if ``block_number`` is resident."""
+        return self._find(block_number) is not None
+
+    def resident_blocks(self) -> List[int]:
+        """Return all resident block numbers (order unspecified)."""
+        blocks = []
+        for way_frames in self._frames:
+            for frame in way_frames:
+                if frame.valid:
+                    blocks.append(frame.block_number)
+        return blocks
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Perform one access and update all state and statistics."""
+        block = self.block_number_of(address)
+        return self.access_block(block, is_write=is_write)
+
+    def access_block(self, block_number: int, is_write: bool = False) -> AccessResult:
+        """Access by block number (used by upper levels of a hierarchy)."""
+        if block_number < 0:
+            raise ValueError("block_number must be non-negative")
+        self._clock += 1
+        location = self._find(block_number)
+        hit = location is not None
+
+        miss_kind = None
+        if self._classifier is not None:
+            miss_kind = self._classifier.classify(block_number, hit)
+
+        if hit:
+            way, set_index = location
+            frame = self._frames[way][set_index]
+            frame.touch(self._clock)
+            if is_write and self._write_policy == WritePolicy.WRITE_BACK_ALLOCATE:
+                frame.dirty = True
+            self._replacement.on_access(way, set_index, frame, self._clock)
+            self.stats.record_access(is_write, True)
+            return AccessResult(hit=True, block_number=block_number,
+                                way=way, set_index=set_index)
+
+        # Miss.
+        self.stats.record_access(is_write, False, miss_kind)
+        allocate = not (
+            is_write and self._write_policy == WritePolicy.WRITE_THROUGH_NO_ALLOCATE
+        )
+        if not allocate:
+            return AccessResult(hit=False, block_number=block_number,
+                                miss_kind=miss_kind)
+        way, set_index, evicted, writeback = self._fill(
+            block_number, dirty=is_write and
+            self._write_policy == WritePolicy.WRITE_BACK_ALLOCATE)
+        return AccessResult(
+            hit=False, block_number=block_number, way=way, set_index=set_index,
+            evicted_block=evicted, writeback=writeback, miss_kind=miss_kind,
+        )
+
+    def fill_block(self, block_number: int, dirty: bool = False) -> AccessResult:
+        """Install a block without counting an access (used for prefetch/refill paths)."""
+        if self._find(block_number) is not None:
+            way, set_index = self._find(block_number)
+            return AccessResult(hit=True, block_number=block_number,
+                                way=way, set_index=set_index)
+        self._clock += 1
+        way, set_index, evicted, writeback = self._fill(block_number, dirty=dirty)
+        return AccessResult(hit=False, block_number=block_number, way=way,
+                            set_index=set_index, evicted_block=evicted,
+                            writeback=writeback)
+
+    def invalidate_block(self, block_number: int) -> bool:
+        """Remove ``block_number`` if resident; returns True if it was found."""
+        location = self._find(block_number)
+        if location is None:
+            return False
+        way, set_index = location
+        self._frames[way][set_index].invalidate()
+        self._replacement.on_invalidate(way, set_index)
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_address(self, address: int) -> bool:
+        """Remove the block containing ``address`` if resident."""
+        return self.invalidate_block(self.block_number_of(address))
+
+    def flush(self) -> None:
+        """Empty the cache (statistics are preserved; reset them separately)."""
+        for way_frames in self._frames:
+            for frame in way_frames:
+                frame.invalidate()
+        self._replacement.reset()
+        if self._classifier is not None:
+            self._classifier.reset()
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters."""
+        self.stats.reset()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _candidate_sets(self, block_number: int) -> List[int]:
+        return [self._index_fn.index(block_number, way) for way in range(self._ways)]
+
+    def _find(self, block_number: int) -> Optional[tuple]:
+        for way, set_index in enumerate(self._candidate_sets(block_number)):
+            frame = self._frames[way][set_index]
+            if frame.valid and frame.block_number == block_number:
+                return way, set_index
+        return None
+
+    def _fill(self, block_number: int, dirty: bool) -> tuple:
+        candidates = self._candidate_sets(block_number)
+        # Prefer an invalid frame.
+        for way, set_index in enumerate(candidates):
+            frame = self._frames[way][set_index]
+            if not frame.valid:
+                frame.fill(block_number, self._clock, dirty=dirty)
+                self._replacement.on_access(way, set_index, frame, self._clock)
+                return way, set_index, None, False
+        # All candidates valid: evict.
+        victim_candidates = [
+            (way, set_index, self._frames[way][set_index])
+            for way, set_index in enumerate(candidates)
+        ]
+        way, set_index = self._replacement.choose_victim(victim_candidates)
+        frame = self._frames[way][set_index]
+        evicted = frame.block_number
+        writeback = frame.dirty
+        if writeback:
+            self.stats.writebacks += 1
+        self.stats.evictions += 1
+        frame.fill(block_number, self._clock, dirty=dirty)
+        self._replacement.on_access(way, set_index, frame, self._clock)
+        return way, set_index, evicted, writeback
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache({self._size_bytes}B, {self._ways}-way, "
+            f"{self._block_size}B blocks, index={self._index_fn.name})"
+        )

@@ -1,0 +1,172 @@
+"""Cache statistics and the 3C miss classification.
+
+The paper reports *load miss ratios* and argues about *conflict* misses
+specifically, so the statistics layer distinguishes loads from stores and can
+attribute each miss to one of the classic three C's:
+
+* **compulsory** — the block has never been referenced before;
+* **capacity**   — the block was referenced before but would also miss in a
+  fully-associative LRU cache of the same capacity;
+* **conflict**   — the block would have hit in that fully-associative cache,
+  so the miss is caused purely by the placement function.
+
+The classifier runs a shadow fully-associative LRU model alongside the real
+cache; this is the standard Hill & Smith methodology and is exactly the
+quantity the I-Poly scheme sets out to eliminate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+__all__ = ["CacheStats", "MissKind", "MissClassifier"]
+
+
+class MissKind:
+    """Enumeration of miss classes (plain strings for easy reporting)."""
+
+    COMPULSORY = "compulsory"
+    CAPACITY = "capacity"
+    CONFLICT = "conflict"
+
+    ALL = (COMPULSORY, CAPACITY, CONFLICT)
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a cache model.
+
+    ``loads``/``stores`` count accesses, ``load_misses``/``store_misses``
+    count misses, and ``miss_kinds`` breaks misses down per
+    :class:`MissKind` when a classifier is attached to the cache.
+    """
+
+    loads: int = 0
+    stores: int = 0
+    load_misses: int = 0
+    store_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+    holes_created: int = 0
+    miss_kinds: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in MissKind.ALL}
+    )
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses observed."""
+        return self.loads + self.stores
+
+    @property
+    def misses(self) -> int:
+        """Total number of misses (loads + stores)."""
+        return self.load_misses + self.store_misses
+
+    @property
+    def hits(self) -> int:
+        """Total number of hits."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Overall miss ratio; 0.0 when no accesses have been made."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def load_miss_ratio(self) -> float:
+        """Load miss ratio — the metric the paper's tables report."""
+        return self.load_misses / self.loads if self.loads else 0.0
+
+    @property
+    def conflict_miss_ratio(self) -> float:
+        """Conflict misses as a fraction of all accesses."""
+        if not self.accesses:
+            return 0.0
+        return self.miss_kinds[MissKind.CONFLICT] / self.accesses
+
+    def record_access(self, is_write: bool, hit: bool,
+                      miss_kind: Optional[str] = None) -> None:
+        """Record one access and, if it missed, its classification."""
+        if is_write:
+            self.stores += 1
+            if not hit:
+                self.store_misses += 1
+        else:
+            self.loads += 1
+            if not hit:
+                self.load_misses += 1
+        if not hit and miss_kind is not None:
+            if miss_kind not in self.miss_kinds:
+                raise ValueError(f"unknown miss kind {miss_kind!r}")
+            self.miss_kinds[miss_kind] += 1
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.loads = 0
+        self.stores = 0
+        self.load_misses = 0
+        self.store_misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.invalidations = 0
+        self.holes_created = 0
+        for kind in self.miss_kinds:
+            self.miss_kinds[kind] = 0
+
+
+class MissClassifier:
+    """3C miss classifier based on a shadow fully-associative LRU cache.
+
+    Parameters
+    ----------
+    capacity_blocks:
+        Number of blocks the shadow cache holds — normally the same capacity
+        as the cache under study so that "capacity" means "would also miss in
+        the best possible placement of the same size".
+    """
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be positive")
+        self._capacity = capacity_blocks
+        self._seen: Set[int] = set()
+        self._shadow: "OrderedDict[int, None]" = OrderedDict()
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Capacity of the shadow fully-associative cache, in blocks."""
+        return self._capacity
+
+    def classify(self, block_number: int, real_hit: bool) -> Optional[str]:
+        """Observe one access and classify it.
+
+        Must be called for *every* access (hits included) so the shadow LRU
+        state stays in sync; returns the miss kind for misses and ``None``
+        for hits.
+        """
+        first_touch = block_number not in self._seen
+        self._seen.add(block_number)
+
+        shadow_hit = block_number in self._shadow
+        if shadow_hit:
+            self._shadow.move_to_end(block_number)
+        else:
+            self._shadow[block_number] = None
+            if len(self._shadow) > self._capacity:
+                self._shadow.popitem(last=False)
+
+        if real_hit:
+            return None
+        if first_touch:
+            return MissKind.COMPULSORY
+        if not shadow_hit:
+            return MissKind.CAPACITY
+        return MissKind.CONFLICT
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self._seen.clear()
+        self._shadow.clear()

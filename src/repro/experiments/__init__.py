@@ -1,0 +1,64 @@
+"""Experiment drivers — one per table/figure of the paper (see DESIGN.md).
+
+============  ==========================================  =======================
+Experiment    Paper artefact                              Driver
+============  ==========================================  =======================
+E-F1          Figure 1 (stride miss-ratio distribution)   :mod:`.figure1`
+E-T2 / E-SD   Table 2 (IPC & miss ratio) + std-dev claim  :mod:`.table2`
+E-T3          Table 3 (high-conflict programs)            :mod:`.table3`
+E-MR          Section 2.1 miss-ratio comparison           :mod:`.miss_ratio_study`
+E-HOLE        Section 3.3 hole model vs simulation        :mod:`.holes_study`
+E-CA          Section 3.1 column-associative option       :mod:`.column_assoc_study`
+E-CP          Section 3 / 3.4 hardware cost & CLA timing  :mod:`.critical_path`
+============  ==========================================  =======================
+"""
+
+from .column_assoc_study import ColumnAssocStudyResult, run_column_assoc_study
+from .config import (
+    INDEX_SCHEMES,
+    PAPER_HASH_BITS,
+    PAPER_L1_8KB,
+    PAPER_L1_16KB,
+    TABLE2_CONFIGS,
+    CacheGeometry,
+    build_cache,
+    table2_processor_configs,
+)
+from .critical_path import CriticalPathResult, run_critical_path_study
+from .figure1 import Figure1Result, run_figure1, stride_miss_ratio
+from .holes_study import HoleStudyResult, run_holes_study
+from .miss_ratio_study import (
+    MissRatioStudyResult,
+    default_organisations,
+    run_miss_ratio_study,
+)
+from .table2 import Table2Result, miss_ratio_std_dev, run_table2
+from .table3 import Table3Result, run_table3
+
+__all__ = [
+    "CacheGeometry",
+    "PAPER_L1_8KB",
+    "PAPER_L1_16KB",
+    "PAPER_HASH_BITS",
+    "INDEX_SCHEMES",
+    "TABLE2_CONFIGS",
+    "build_cache",
+    "table2_processor_configs",
+    "Figure1Result",
+    "run_figure1",
+    "stride_miss_ratio",
+    "Table2Result",
+    "run_table2",
+    "miss_ratio_std_dev",
+    "Table3Result",
+    "run_table3",
+    "MissRatioStudyResult",
+    "default_organisations",
+    "run_miss_ratio_study",
+    "HoleStudyResult",
+    "run_holes_study",
+    "ColumnAssocStudyResult",
+    "run_column_assoc_study",
+    "CriticalPathResult",
+    "run_critical_path_study",
+]

@@ -1,0 +1,112 @@
+"""Command-line entry point: run any of the paper's experiments from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.experiments.cli figure1 --max-stride 1024 --stride-step 4
+    python -m repro.experiments.cli table2 --instructions 12000
+    python -m repro.experiments.cli table3 --instructions 12000
+    python -m repro.experiments.cli miss-ratio --accesses 30000
+    python -m repro.experiments.cli holes --accesses 40000
+    python -m repro.experiments.cli column-assoc --accesses 30000
+    python -m repro.experiments.cli critical-path
+
+Each sub-command prints the same table/histogram the corresponding benchmark
+regenerates; ``--csv`` switches the tabular experiments to CSV output so the
+results can be piped into other tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .column_assoc_study import run_column_assoc_study
+from .critical_path import run_critical_path_study
+from .figure1 import run_figure1
+from .holes_study import run_holes_study
+from .miss_ratio_study import run_miss_ratio_study
+from .table2 import miss_ratio_std_dev, run_table2
+from .table3 import run_table3
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the experiments of 'The Design and Performance "
+                    "of a Conflict-Avoiding Cache' (MICRO-30, 1997).",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    figure1 = sub.add_parser("figure1", help="Figure 1 stride sweep")
+    figure1.add_argument("--max-stride", type=int, default=1024)
+    figure1.add_argument("--stride-step", type=int, default=4)
+    figure1.add_argument("--sweeps", type=int, default=8)
+
+    table2 = sub.add_parser("table2", help="Table 2 IPC / miss-ratio sweep")
+    table2.add_argument("--instructions", type=int, default=12_000)
+    table2.add_argument("--programs", nargs="*", default=None)
+    table2.add_argument("--csv", action="store_true")
+
+    table3 = sub.add_parser("table3", help="Table 3 high-conflict breakdown")
+    table3.add_argument("--instructions", type=int, default=12_000)
+
+    miss_ratio = sub.add_parser("miss-ratio", help="Section 2.1 organisation comparison")
+    miss_ratio.add_argument("--accesses", type=int, default=30_000)
+    miss_ratio.add_argument("--programs", nargs="*", default=None)
+    miss_ratio.add_argument("--csv", action="store_true")
+
+    holes = sub.add_parser("holes", help="Section 3.3 hole model vs simulation")
+    holes.add_argument("--accesses", type=int, default=40_000)
+    holes.add_argument("--l2-kilobytes", nargs="*", type=int, default=[256, 1024])
+
+    column = sub.add_parser("column-assoc", help="Section 3.1 column-associative study")
+    column.add_argument("--accesses", type=int, default=30_000)
+
+    sub.add_parser("critical-path", help="Section 3/3.4 hardware cost and CLA timing")
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    if args.experiment == "figure1":
+        result = run_figure1(max_stride=args.max_stride, sweeps=args.sweeps,
+                             stride_step=args.stride_step)
+        return result.render()
+    if args.experiment == "table2":
+        result = run_table2(programs=args.programs or None,
+                            instructions=args.instructions)
+        if args.csv:
+            return (result.ipc_table().render_csv()
+                    + "\n" + result.miss_ratio_table().render_csv())
+        stds = miss_ratio_std_dev(result)
+        return (result.render()
+                + f"\n\nmiss-ratio std-dev: conventional={stds['8K-conv']:.2f} "
+                  f"ipoly={stds['8K-ipoly-noCP']:.2f}")
+    if args.experiment == "table3":
+        return run_table3(instructions=args.instructions).render()
+    if args.experiment == "miss-ratio":
+        result = run_miss_ratio_study(programs=args.programs or None,
+                                      accesses=args.accesses)
+        return result.table().render_csv() if args.csv else result.render()
+    if args.experiment == "holes":
+        result = run_holes_study(l2_sizes=[kb * 1024 for kb in args.l2_kilobytes],
+                                 accesses=args.accesses)
+        return result.render()
+    if args.experiment == "column-assoc":
+        return run_column_assoc_study(accesses=args.accesses).render()
+    if args.experiment == "critical-path":
+        return run_critical_path_study().render()
+    raise ValueError(f"unknown experiment {args.experiment!r}")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, run the experiment, print its report; returns exit code."""
+    args = build_parser().parse_args(argv)
+    print(_run_experiment(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Shared experiment configuration: the cache and processor set-ups of Section 4.
+
+Every experiment driver builds its configurations from the constants here so
+the whole harness agrees on the paper's parameters: 8 KB / 16 KB two-way
+set-associative L1 caches with 32-byte lines, 2-cycle hits, 20-cycle miss
+penalty, 8 MSHRs, a 64-bit L1/L2 bus, and the six Table 2 machine
+configurations (16 KB and 8 KB conventional with and without address
+prediction, and 8 KB I-Poly with the XOR stage out of / in the critical path,
+the latter with and without address prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cache.set_assoc import SetAssociativeCache, WritePolicy
+from ..core.index import IndexFunction, make_index_function
+from ..cpu.processor import ProcessorConfig
+
+__all__ = [
+    "CacheGeometry",
+    "PAPER_L1_8KB",
+    "PAPER_L1_16KB",
+    "INDEX_SCHEMES",
+    "TABLE2_CONFIGS",
+    "build_cache",
+    "table2_processor_configs",
+]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size / organisation of one cache level used by the experiments."""
+
+    size_bytes: int
+    block_size: int = 32
+    ways: int = 2
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by the geometry."""
+        return self.size_bytes // (self.block_size * self.ways)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label (e.g. ``8KB-2way``)."""
+        return f"{self.size_bytes // 1024}KB-{self.ways}way"
+
+
+#: The two L1 geometries of Section 4.
+PAPER_L1_8KB = CacheGeometry(size_bytes=8 * 1024)
+PAPER_L1_16KB = CacheGeometry(size_bytes=16 * 1024)
+
+#: The indexing schemes compared in Figure 1, using the paper's labels.
+INDEX_SCHEMES: List[str] = ["a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"]
+
+#: Number of address bits the I-Poly hash consumes in the paper's experiments.
+PAPER_HASH_BITS = 19
+
+
+def build_cache(geometry: CacheGeometry, scheme: str = "a2",
+                address_bits: int = PAPER_HASH_BITS,
+                classify_misses: bool = False,
+                write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+                index_function: Optional[IndexFunction] = None) -> SetAssociativeCache:
+    """Build a cache with the given geometry and placement scheme."""
+    if index_function is None:
+        index_function = make_index_function(scheme, num_sets=geometry.num_sets,
+                                             ways=geometry.ways,
+                                             address_bits=address_bits)
+    return SetAssociativeCache(
+        size_bytes=geometry.size_bytes,
+        block_size=geometry.block_size,
+        ways=geometry.ways,
+        index_function=index_function,
+        write_policy=write_policy,
+        classify_misses=classify_misses,
+        name=f"{geometry.label}-{index_function.name}",
+    )
+
+
+#: Column labels of Table 2 (and Table 3), in the paper's order, mapped to the
+#: processor configuration that produces them.
+TABLE2_CONFIGS: Dict[str, dict] = {
+    "16K-conv": dict(cache_size_bytes=16 * 1024, index_scheme="a2"),
+    "8K-conv": dict(cache_size_bytes=8 * 1024, index_scheme="a2"),
+    "8K-conv-pred": dict(cache_size_bytes=8 * 1024, index_scheme="a2",
+                         address_prediction=True),
+    "8K-ipoly-noCP": dict(cache_size_bytes=8 * 1024, index_scheme="a2-Hp-Sk"),
+    "8K-ipoly-CP": dict(cache_size_bytes=8 * 1024, index_scheme="a2-Hp-Sk",
+                        xor_in_critical_path=True),
+    "8K-ipoly-CP-pred": dict(cache_size_bytes=8 * 1024, index_scheme="a2-Hp-Sk",
+                             xor_in_critical_path=True, address_prediction=True),
+}
+
+
+def table2_processor_configs() -> Dict[str, ProcessorConfig]:
+    """Instantiate a :class:`ProcessorConfig` per Table 2 column."""
+    return {label: ProcessorConfig(**overrides)
+            for label, overrides in TABLE2_CONFIGS.items()}

@@ -1,0 +1,35 @@
+"""Memory-system substrate: addresses, paging, translation and main memory."""
+
+from .address import (
+    AddressLayout,
+    block_base,
+    block_number,
+    block_offset,
+    is_power_of_two,
+    log2_exact,
+    page_number,
+    page_offset,
+)
+from .main_memory import Bus, MainMemory, MemoryRequest
+from .paging import PageSizePolicy, PageTable, Segment, TLB
+from .translation import AddressTranslator, TranslationResult
+
+__all__ = [
+    "AddressLayout",
+    "block_base",
+    "block_number",
+    "block_offset",
+    "is_power_of_two",
+    "log2_exact",
+    "page_number",
+    "page_offset",
+    "PageTable",
+    "TLB",
+    "Segment",
+    "PageSizePolicy",
+    "AddressTranslator",
+    "TranslationResult",
+    "MainMemory",
+    "Bus",
+    "MemoryRequest",
+]

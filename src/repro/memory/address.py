@@ -1,0 +1,131 @@
+"""Address arithmetic helpers.
+
+The simulators in this repository pass plain integers around as addresses,
+but several subsystems need to slice those integers consistently: block
+offset, set index, tag, page offset, virtual page number.  Collecting that
+arithmetic here keeps the bit-twiddling in one audited place.
+
+All helpers validate that the relevant size is a power of two, matching the
+hardware structures they model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "is_power_of_two",
+    "log2_exact",
+    "block_number",
+    "block_offset",
+    "block_base",
+    "page_number",
+    "page_offset",
+    "AddressLayout",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and value & (value - 1) == 0
+
+
+def log2_exact(value: int, what: str = "value") -> int:
+    """Return ``log2(value)``, requiring an exact power of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def block_number(address: int, block_size: int) -> int:
+    """The block (line) number containing ``address``."""
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    return address >> log2_exact(block_size, "block_size")
+
+
+def block_offset(address: int, block_size: int) -> int:
+    """Offset of ``address`` within its block."""
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    return address & (block_size - 1) if is_power_of_two(block_size) else _raise(block_size)
+
+
+def block_base(address: int, block_size: int) -> int:
+    """First byte address of the block containing ``address``."""
+    return block_number(address, block_size) << log2_exact(block_size, "block_size")
+
+
+def page_number(address: int, page_size: int) -> int:
+    """The virtual/physical page number containing ``address``."""
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    return address >> log2_exact(page_size, "page_size")
+
+
+def page_offset(address: int, page_size: int) -> int:
+    """Offset of ``address`` within its page."""
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    return address & (page_size - 1)
+
+
+def _raise(block_size: int):
+    raise ValueError(f"block_size must be a positive power of two, got {block_size}")
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Describes how a cache slices addresses into offset / index / tag.
+
+    This is purely descriptive (the caches themselves work on block numbers),
+    but it is what Section 3.1's page-size argument is about: with a 4 KB
+    page and a conventional cache, only ``page_offset_bits - offset_bits``
+    index bits are untranslated, which caps the virtually-indexed,
+    physically-tagged cache size.  The layout object makes those quantities
+    explicit so the experiments and documentation can compute them.
+    """
+
+    block_size: int
+    num_sets: int
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        log2_exact(self.block_size, "block_size")
+        log2_exact(self.num_sets, "num_sets")
+        log2_exact(self.page_size, "page_size")
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits used for the within-block offset."""
+        return log2_exact(self.block_size)
+
+    @property
+    def index_bits(self) -> int:
+        """Bits used for the set index."""
+        return log2_exact(self.num_sets)
+
+    @property
+    def page_offset_bits(self) -> int:
+        """Bits untranslated by paging."""
+        return log2_exact(self.page_size)
+
+    @property
+    def untranslated_index_bits(self) -> int:
+        """How many of the index bits lie inside the page offset."""
+        available = self.page_offset_bits - self.offset_bits
+        return max(0, min(self.index_bits, available))
+
+    @property
+    def index_exceeds_page(self) -> bool:
+        """True when indexing needs address bits beyond the page offset.
+
+        This is the situation that forces the design alternatives of
+        Section 3.1 (physical indexing, large pages, virtual tags, or
+        rehashing); it is always true for I-Poly functions of useful width.
+        """
+        return self.untranslated_index_bits < self.index_bits
+
+    def usable_hash_bits(self) -> int:
+        """Address bits available to a hash that must stay below the page boundary."""
+        return self.page_offset_bits - self.offset_bits

@@ -1,0 +1,122 @@
+"""Main-memory and bus timing model.
+
+The paper's processor experiments assume a fixed 20-cycle miss penalty, an
+infinite L2 and a 64-bit bus between L1 and L2 on which "a line transaction
+occupies the bus during four cycles" (32-byte lines / 8 bytes per cycle).
+This module models exactly that: a fixed access latency plus a bus whose
+occupancy serialises overlapping line transfers.
+
+The model is deliberately simple — a single channel with FIFO occupancy — but
+it is enough to capture the bandwidth pressure created when many outstanding
+misses complete close together, which matters for the lockup-free cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryRequest", "MainMemory", "Bus"]
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A completed memory request: when it was issued and when data returns."""
+
+    block_number: int
+    issued_at: int
+    ready_at: int
+
+    @property
+    def latency(self) -> int:
+        """Total observed latency in cycles."""
+        return self.ready_at - self.issued_at
+
+
+class Bus:
+    """A single shared channel with fixed per-transaction occupancy."""
+
+    def __init__(self, cycles_per_transaction: int = 4) -> None:
+        if cycles_per_transaction < 1:
+            raise ValueError("cycles_per_transaction must be positive")
+        self._occupancy = cycles_per_transaction
+        self._free_at = 0
+        self.transactions = 0
+        self.busy_cycles = 0
+
+    @property
+    def cycles_per_transaction(self) -> int:
+        """Bus cycles one line transfer occupies."""
+        return self._occupancy
+
+    def next_free(self, now: int) -> int:
+        """Earliest cycle at which a new transaction could start."""
+        return max(now, self._free_at)
+
+    def reserve(self, now: int) -> int:
+        """Reserve the bus for one transaction starting no earlier than ``now``.
+
+        Returns the cycle at which the transfer completes.
+        """
+        start = self.next_free(now)
+        end = start + self._occupancy
+        self._free_at = end
+        self.transactions += 1
+        self.busy_cycles += self._occupancy
+        return end
+
+    def utilisation(self, elapsed_cycles: int) -> float:
+        """Fraction of ``elapsed_cycles`` the bus spent busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+
+class MainMemory:
+    """Fixed-latency memory behind a shared bus.
+
+    Parameters
+    ----------
+    access_latency:
+        Cycles from request issue to the first data beat (the paper's
+        20-cycle miss penalty).
+    bus:
+        Optional :class:`Bus`; when provided, a line transfer additionally
+        occupies the bus and contention can delay completion.
+    """
+
+    def __init__(self, access_latency: int = 20, bus: Bus = None) -> None:
+        if access_latency < 1:
+            raise ValueError("access_latency must be positive")
+        self._latency = access_latency
+        self._bus = bus
+        self.requests = 0
+        self.total_latency = 0
+
+    @property
+    def access_latency(self) -> int:
+        """Nominal access latency in cycles."""
+        return self._latency
+
+    @property
+    def bus(self) -> Bus:
+        """The attached bus (may be ``None``)."""
+        return self._bus
+
+    def request(self, block_number: int, now: int) -> MemoryRequest:
+        """Issue a line fetch at cycle ``now``; returns its completion record."""
+        if now < 0:
+            raise ValueError("now must be non-negative")
+        ready = now + self._latency
+        if self._bus is not None:
+            ready = self._bus.reserve(ready - self._bus.cycles_per_transaction
+                                      if ready >= self._bus.cycles_per_transaction
+                                      else now)
+            ready = max(ready, now + self._latency)
+        self.requests += 1
+        self.total_latency += ready - now
+        return MemoryRequest(block_number=block_number, issued_at=now, ready_at=ready)
+
+    @property
+    def average_latency(self) -> float:
+        """Mean observed latency including bus contention."""
+        return self.total_latency / self.requests if self.requests else 0.0

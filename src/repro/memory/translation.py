@@ -1,0 +1,80 @@
+"""Address translation front-end combining a page table and a TLB.
+
+The processor model and the virtual-real hierarchy both need a single object
+that answers "what is the physical address of this virtual address, and did
+the translation hit in the TLB?".  :class:`AddressTranslator` provides that,
+along with the latency bookkeeping needed to study Section 3.1 option 1
+(translate *before* indexing, paying the TLB latency on the cache-access
+critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .paging import PageTable, TLB
+
+__all__ = ["TranslationResult", "AddressTranslator"]
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Result of translating one virtual address."""
+
+    virtual_address: int
+    physical_address: int
+    tlb_hit: bool
+    latency: int
+
+
+class AddressTranslator:
+    """Page-table-backed translator with an optional TLB in front.
+
+    Parameters
+    ----------
+    page_table:
+        Backing :class:`~repro.memory.paging.PageTable`.
+    tlb:
+        Optional TLB; when omitted every translation walks the page table.
+    tlb_latency, walk_latency:
+        Cycle costs charged for a TLB hit and for a page-table walk
+        respectively; used by the processor model when translation sits on
+        the critical path.
+    """
+
+    def __init__(self, page_table: PageTable, tlb: TLB = None,
+                 tlb_latency: int = 1, walk_latency: int = 20) -> None:
+        if tlb is not None and tlb._page_size != page_table.page_size:
+            raise ValueError("TLB and page table must agree on page size")
+        if tlb_latency < 0 or walk_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self._page_table = page_table
+        self._tlb = tlb
+        self._tlb_latency = tlb_latency
+        self._walk_latency = walk_latency
+
+    @property
+    def page_size(self) -> int:
+        """Page size in bytes."""
+        return self._page_table.page_size
+
+    def translate(self, virtual_address: int) -> int:
+        """Translate and return only the physical address (no statistics)."""
+        return self.lookup(virtual_address).physical_address
+
+    def lookup(self, virtual_address: int) -> TranslationResult:
+        """Translate, updating TLB state and returning full detail."""
+        if virtual_address < 0:
+            raise ValueError("virtual_address must be non-negative")
+        offset = virtual_address & (self.page_size - 1)
+        if self._tlb is not None:
+            frame = self._tlb.lookup(virtual_address)
+            if frame is not None:
+                physical = frame * self.page_size + offset
+                return TranslationResult(virtual_address, physical, True,
+                                         self._tlb_latency)
+        physical = self._page_table.translate(virtual_address)
+        if self._tlb is not None:
+            self._tlb.insert(virtual_address, physical // self.page_size)
+        return TranslationResult(virtual_address, physical, False,
+                                 self._tlb_latency + self._walk_latency)

@@ -1,0 +1,22 @@
+"""Analytical models accompanying the simulators (holes, adder timing)."""
+
+from .cla_timing import ClaTimingModel, paper_example
+from .holes import (
+    HoleModel,
+    displacement_probability,
+    expected_l1_missratio_increase,
+    hole_probability,
+    index_bits_for,
+    resident_probability,
+)
+
+__all__ = [
+    "HoleModel",
+    "index_bits_for",
+    "resident_probability",
+    "displacement_probability",
+    "hole_probability",
+    "expected_l1_missratio_increase",
+    "ClaTimingModel",
+    "paper_example",
+]

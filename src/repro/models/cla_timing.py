@@ -1,0 +1,96 @@
+"""Carry-lookahead adder timing model (Section 3.4).
+
+The worry about I-Poly indexing is that its XOR stage sits after the
+effective-address add and might lengthen the load critical path.  The paper's
+counter-argument is that address bits arrive from least- to most-significant:
+in a hierarchical carry-lookahead adder (CLA) with lookahead blocks of ``b``
+bits, the ``b**i`` least-significant bits of the sum are available after
+approximately ``2*i - 1`` block delays.  The low bits therefore arrive
+logarithmically earlier than the full sum, leaving slack in which the XOR
+tree can operate without extending the critical path.
+
+For the paper's example — 64-bit addresses, a *binary* CLA (``b = 2``) and
+the 19 low bits the I-Poly functions consume — the hash inputs are ready
+after about 9 block delays while the full addition needs about 11, which is
+exactly what :func:`paper_example` reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ClaTimingModel", "paper_example"]
+
+
+@dataclass(frozen=True)
+class ClaTimingModel:
+    """Timing of a hierarchical carry-lookahead adder.
+
+    Parameters
+    ----------
+    address_bits:
+        Width of the addition (the paper uses 64-bit addresses).
+    block_bits:
+        Lookahead radix ``b``; the paper's example uses a binary CLA
+        (``b = 2``).
+    """
+
+    address_bits: int = 64
+    block_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.address_bits < 1:
+            raise ValueError("address_bits must be positive")
+        if self.block_bits < 2:
+            raise ValueError("block_bits (the lookahead radix) must be at least 2")
+
+    def levels_for_bits(self, bits: int) -> int:
+        """Number of lookahead levels needed before the low ``bits`` are valid.
+
+        This is the smallest ``i`` with ``block_bits**i >= bits``.
+        """
+        if bits < 1 or bits > self.address_bits:
+            raise ValueError(f"bits must be in 1..{self.address_bits}")
+        return max(1, math.ceil(math.log(bits, self.block_bits)))
+
+    def delay_for_bits(self, bits: int) -> int:
+        """Block delays until the low ``bits`` bits of the sum are valid.
+
+        Following the paper: the ``b**i`` least-significant bits have a delay
+        of approximately ``2*i - 1`` block delays.
+        """
+        return 2 * self.levels_for_bits(bits) - 1
+
+    @property
+    def full_add_delay(self) -> int:
+        """Block delays for the complete addition."""
+        return self.delay_for_bits(self.address_bits)
+
+    def slack_for_bits(self, bits: int) -> int:
+        """Block delays between the low ``bits`` being ready and the add completing."""
+        return self.full_add_delay - self.delay_for_bits(bits)
+
+    def xor_fits_in_slack(self, bits: int, xor_delay_blocks: float = 1.0) -> bool:
+        """Whether an XOR stage of the given delay hides inside the slack."""
+        if xor_delay_blocks < 0:
+            raise ValueError("xor_delay_blocks must be non-negative")
+        return xor_delay_blocks <= self.slack_for_bits(bits)
+
+
+def paper_example() -> dict:
+    """Reproduce the Section 3.4 numbers for 64-bit addresses and 19 hash bits.
+
+    Returns a dict with the delay of the 19 low bits, the delay of the full
+    addition, and the slack available to the XOR tree.  The paper quotes
+    "about 9 blocks" and "11 block-delays" respectively.
+    """
+    model = ClaTimingModel(address_bits=64, block_bits=2)
+    bits = 19
+    return {
+        "hash_bits": bits,
+        "hash_bits_delay_blocks": model.delay_for_bits(bits),
+        "full_add_delay_blocks": model.full_add_delay,
+        "slack_blocks": model.slack_for_bits(bits),
+        "xor_hidden": model.xor_fits_in_slack(bits),
+    }

@@ -1,0 +1,54 @@
+"""Address traces: records, synthetic generators, workload models and I/O."""
+
+from .generators import (
+    interleave,
+    matrix_traversal,
+    multi_array_sweep,
+    pointer_chase,
+    random_accesses,
+    strided_vector,
+    tiled_matrix_multiply,
+)
+from .record import MemoryAccess, materialise, replay, trace_length
+from .trace_io import (
+    read_binary_trace,
+    read_text_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+from .workloads import (
+    FP_PROGRAMS,
+    HIGH_CONFLICT_PROGRAMS,
+    INTEGER_PROGRAMS,
+    LOW_CONFLICT_PROGRAMS,
+    WORKLOADS,
+    WorkloadSpec,
+    build_trace,
+    workload_names,
+)
+
+__all__ = [
+    "MemoryAccess",
+    "trace_length",
+    "materialise",
+    "replay",
+    "strided_vector",
+    "multi_array_sweep",
+    "matrix_traversal",
+    "tiled_matrix_multiply",
+    "pointer_chase",
+    "random_accesses",
+    "interleave",
+    "write_text_trace",
+    "read_text_trace",
+    "write_binary_trace",
+    "read_binary_trace",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "HIGH_CONFLICT_PROGRAMS",
+    "LOW_CONFLICT_PROGRAMS",
+    "INTEGER_PROGRAMS",
+    "FP_PROGRAMS",
+    "build_trace",
+    "workload_names",
+]

@@ -1,0 +1,94 @@
+"""Reading and writing address traces.
+
+Two formats are supported:
+
+* a human-readable text format (one access per line:
+  ``R|W <hex address> <hex pc> <size>``), convenient for small fixture traces
+  and for inspecting generated workloads; and
+* a compact binary format (little-endian fixed-width records) for larger
+  traces, so experiments that replay the same trace across many cache
+  configurations do not pay generator cost each time.
+
+Both round-trip exactly through :class:`~repro.trace.record.MemoryAccess`.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from .record import MemoryAccess
+
+__all__ = [
+    "write_text_trace",
+    "read_text_trace",
+    "write_binary_trace",
+    "read_binary_trace",
+]
+
+_BINARY_MAGIC = b"CACTR1\0\0"
+_RECORD = struct.Struct("<QQIB3x")  # address, pc, size, is_write, padding
+
+
+def write_text_trace(path: Union[str, Path], trace: Iterable[MemoryAccess]) -> int:
+    """Write a trace in the text format; returns the number of records written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="ascii") as handle:
+        handle.write("# repro cache trace v1: R|W address pc size (hex, hex, dec)\n")
+        for access in trace:
+            kind = "W" if access.is_write else "R"
+            handle.write(f"{kind} {access.address:#x} {access.pc:#x} {access.size}\n")
+            count += 1
+    return count
+
+
+def read_text_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
+    """Lazily read a text-format trace."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4 or parts[0] not in ("R", "W"):
+                raise ValueError(f"{path}:{line_number}: malformed record {line!r}")
+            yield MemoryAccess(
+                address=int(parts[1], 16),
+                is_write=parts[0] == "W",
+                pc=int(parts[2], 16),
+                size=int(parts[3]),
+            )
+
+
+def write_binary_trace(path: Union[str, Path], trace: Iterable[MemoryAccess]) -> int:
+    """Write a trace in the binary format; returns the number of records written."""
+    path = Path(path)
+    count = 0
+    with path.open("wb") as handle:
+        handle.write(_BINARY_MAGIC)
+        for access in trace:
+            handle.write(_RECORD.pack(access.address, access.pc, access.size,
+                                      1 if access.is_write else 0))
+            count += 1
+    return count
+
+
+def read_binary_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
+    """Lazily read a binary-format trace."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(_BINARY_MAGIC))
+        if magic != _BINARY_MAGIC:
+            raise ValueError(f"{path} is not a repro binary trace (bad magic)")
+        while True:
+            raw = handle.read(_RECORD.size)
+            if not raw:
+                break
+            if len(raw) != _RECORD.size:
+                raise ValueError(f"{path}: truncated record at end of file")
+            address, pc, size, is_write = _RECORD.unpack(raw)
+            yield MemoryAccess(address=address, is_write=bool(is_write),
+                               pc=pc, size=size)

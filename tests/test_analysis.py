@@ -1,0 +1,155 @@
+"""Tests for metrics, histograms and report formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis.histograms import MissRatioHistogram, compare_histograms
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    percent_change,
+    speedup,
+    std_deviation,
+    summarise_ipc,
+    summarise_miss_ratios,
+)
+from repro.analysis.reporting import TableBuilder, format_csv, format_table
+
+
+class TestMetrics:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_below_arithmetic(self):
+        values = [0.8, 1.3, 2.1, 1.0]
+        assert geometric_mean(values) <= arithmetic_mean(values)
+
+    def test_std_deviation(self):
+        assert std_deviation([2, 2, 2]) == 0.0
+        assert std_deviation([1, 3]) == pytest.approx(1.0)
+
+    def test_empty_sequences_rejected(self):
+        for fn in (arithmetic_mean, geometric_mean, std_deviation):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_percent_change_and_speedup(self):
+        assert percent_change(1.0, 1.33) == pytest.approx(33.0)
+        assert percent_change(2.0, 1.0) == pytest.approx(-50.0)
+        assert speedup(1.0, 1.5) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            percent_change(0.0, 1.0)
+
+    def test_group_summaries(self):
+        miss = {"a": 10.0, "b": 20.0, "c": 60.0}
+        ipc = {"a": 1.0, "b": 2.0, "c": 4.0}
+        groups = {"ab": ["a", "b"], "all": ["a", "b", "c"]}
+        assert summarise_miss_ratios(miss, groups)["ab"] == 15.0
+        assert summarise_ipc(ipc, groups)["all"] == pytest.approx(2.0)
+
+    def test_group_summary_unknown_program(self):
+        with pytest.raises(KeyError):
+            summarise_miss_ratios({"a": 1.0}, {"g": ["a", "zzz"]})
+
+
+class TestHistogram:
+    def test_bucketing_matches_figure1_edges(self):
+        histogram = MissRatioHistogram()
+        assert histogram.bucket_of(0.0) == 0
+        assert histogram.bucket_of(0.05) == 0
+        assert histogram.bucket_of(0.1) == 0
+        assert histogram.bucket_of(0.11) == 1
+        assert histogram.bucket_of(1.0) == 9
+
+    def test_add_and_totals(self):
+        histogram = MissRatioHistogram(label="a2")
+        histogram.add_all([0.05, 0.2, 0.95, 1.0])
+        assert histogram.total == 4
+        assert sum(histogram.counts) == 4
+        assert histogram.counts[9] == 2
+
+    def test_fraction_above_half(self):
+        histogram = MissRatioHistogram()
+        histogram.add_all([0.1] * 90 + [0.9] * 10)
+        assert histogram.fraction_above(0.5) == pytest.approx(0.1)
+
+    def test_fraction_above_empty(self):
+        assert MissRatioHistogram().fraction_above(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MissRatioHistogram().add(1.2)
+
+    def test_render_contains_all_edges(self):
+        histogram = MissRatioHistogram(label="test")
+        histogram.add_all([0.3, 0.6])
+        text = histogram.render()
+        assert "0.1" in text and "1.0" in text and "test" in text
+
+    def test_compare(self):
+        a = MissRatioHistogram(label="a")
+        b = MissRatioHistogram(label="b")
+        a.add_all([0.9, 0.9, 0.1, 0.1])
+        b.add_all([0.1, 0.1, 0.1, 0.1])
+        summary = compare_histograms([a, b])
+        assert summary["a"] == 0.5
+        assert summary["b"] == 0.0
+
+    def test_as_dict(self):
+        histogram = MissRatioHistogram()
+        histogram.add(0.25)
+        assert histogram.as_dict()[0.3] == 1
+
+
+class TestReporting:
+    def test_format_table_alignment_and_values(self):
+        text = format_table(["name", "ipc"], [["swim", 1.53], ["gcc", 1.03]])
+        assert "swim" in text and "1.53" in text
+        lines = text.splitlines()
+        assert len(lines) == 4          # header, rule, two rows
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_csv(self):
+        csv_text = format_csv(["x", "y"], [[1, 2.5], ["z", None]])
+        assert csv_text.splitlines()[0] == "x,y"
+        assert "2.5000" in csv_text
+
+    def test_table_builder_round_trip(self):
+        table = TableBuilder(["ipc", "miss"], row_label="program")
+        table.add_row("swim", {"ipc": 1.5, "miss": 8.85})
+        table.set("swim", "miss", 9.0)
+        assert table.get("swim", "miss") == 9.0
+        assert table.row_names == ["swim"]
+        assert "swim" in table.render()
+        assert "program" in table.render_csv()
+
+    def test_table_builder_column_values(self):
+        table = TableBuilder(["ipc"])
+        table.add_row("a", {"ipc": 1.0})
+        table.add_row("b", {"ipc": 2.0})
+        table.add_row("c", {})                  # unset cell skipped
+        assert table.column_values("ipc") == [1.0, 2.0]
+        assert table.column_values("ipc", rows=["b"]) == [2.0]
+
+    def test_table_builder_unknown_column(self):
+        table = TableBuilder(["ipc"])
+        with pytest.raises(KeyError):
+            table.add_row("a", {"bogus": 1})
+        with pytest.raises(KeyError):
+            table.set("a", "bogus", 1)
+
+    def test_table_builder_requires_columns(self):
+        with pytest.raises(ValueError):
+            TableBuilder([])

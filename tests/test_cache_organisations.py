@@ -1,0 +1,151 @@
+"""Unit tests for the fully-associative, victim and column-associative caches."""
+
+import pytest
+
+from repro.cache.column_assoc import ColumnAssociativeCache
+from repro.cache.fully_assoc import FullyAssociativeCache
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.victim import VictimCache
+from repro.core.index import IPolyIndexing
+
+
+class TestFullyAssociative:
+    def test_no_conflict_misses_ever(self):
+        cache = FullyAssociativeCache(1024, 32, classify_misses=True)
+        # Blocks that would all collide in a direct-mapped cache.
+        for _ in range(4):
+            for i in range(16):
+                cache.access(i * 4096)
+        from repro.cache.stats import MissKind
+        assert cache.stats.miss_kinds[MissKind.CONFLICT] == 0
+
+    def test_capacity_eviction_is_lru(self):
+        cache = FullyAssociativeCache(128, 32)   # 4 frames
+        for block in range(5):                   # fifth block evicts block 0
+            cache.access_block(block)
+        assert not cache.contains_block(0)
+        assert cache.contains_block(4)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(100, 32)
+
+    def test_beats_direct_mapped_on_conflict_pattern(self):
+        direct = SetAssociativeCache(512, 32, 1)
+        full = FullyAssociativeCache(512, 32)
+        for _ in range(4):
+            for i in range(8):
+                direct.access(i * 512)
+                full.access(i * 512)
+        assert full.stats.miss_ratio < direct.stats.miss_ratio
+
+
+class TestVictimCache:
+    def test_victim_buffer_catches_conflict_evictions(self):
+        # Direct-mapped 512 B main cache: blocks 0 and 16 collide in set 0.
+        cache = VictimCache(512, 32, ways=1, victim_entries=4)
+        cache.access(0)
+        cache.access(16 * 32)    # evicts block 0 into the victim buffer
+        result = cache.access(0)
+        assert result.victim_hit
+        assert not result.main_hit
+
+    def test_main_hits_counted(self):
+        cache = VictimCache(512, 32, ways=1, victim_entries=4)
+        cache.access(0)
+        assert cache.access(0).main_hit
+        assert cache.main_hits == 1
+
+    def test_miss_ratio_better_than_plain_direct_mapped(self):
+        plain = SetAssociativeCache(512, 32, 1)
+        victim = VictimCache(512, 32, ways=1, victim_entries=4)
+        pattern = [0, 16 * 32, 0, 16 * 32] * 25
+        for address in pattern:
+            plain.access(address)
+            victim.access(address)
+        assert victim.miss_ratio < plain.stats.miss_ratio
+
+    def test_victim_hit_ratio_property(self):
+        cache = VictimCache(512, 32, ways=1, victim_entries=4)
+        for address in [0, 16 * 32, 0, 16 * 32]:
+            cache.access(address)
+        assert 0.0 < cache.victim_hit_ratio < 1.0
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            VictimCache(512, 32, victim_entries=0)
+
+
+class TestColumnAssociative:
+    def make(self, size=1024, block=32):
+        return ColumnAssociativeCache(size, block, address_bits=19)
+
+    def test_first_access_misses_then_first_probe_hits(self):
+        cache = self.make()
+        assert not cache.access(0x40).hit
+        result = cache.access(0x40)
+        assert result.hit and result.first_probe_hit
+        assert result.probes == 1
+
+    def test_conflicting_blocks_coexist_via_rehash(self):
+        cache = self.make()
+        # Two blocks with the same primary index (1 KB cache = 32 frames).
+        # Block numbers >= 32 are used so that the polynomial rehash location
+        # differs from the primary location (for block numbers below the
+        # frame count the two hashes coincide by construction).
+        a, b = 32 * 32, 64 * 32
+        cache.access_block(cache.block_number_of(a))
+        cache.access_block(cache.block_number_of(b))
+        # Re-access the first: it must still be resident (second probe), and
+        # after the swap it should hit on the first probe next time.
+        second = cache.access(a)
+        assert second.hit
+        assert second.second_probe_hit
+        third = cache.access(a)
+        assert third.first_probe_hit
+
+    def test_average_probes_at_least_one(self):
+        cache = self.make()
+        for i in range(50):
+            cache.access(i * 32)
+        assert cache.average_probes >= 1.0
+
+    def test_hit_time_increases_with_second_probes(self):
+        cache = self.make()
+        cache.access(32 * 32)
+        cache.access(64 * 32)      # displaces block 32 to its rehash slot
+        cache.access(32 * 32)      # second-probe hit
+        assert cache.average_hit_time(1.0, 1.0) > 1.0
+
+    def test_better_than_direct_mapped_on_conflicts(self):
+        direct = SetAssociativeCache(1024, 32, 1)
+        column = self.make()
+        pattern = []
+        for _ in range(20):
+            pattern.extend([0, 32 * 32, 64 * 32])   # same primary frame
+        for address in pattern:
+            direct.access(address)
+            column.access(address)
+        assert column.stats.miss_ratio < direct.stats.miss_ratio
+
+    def test_swap_can_be_disabled(self):
+        cache = ColumnAssociativeCache(1024, 32, swap_on_rehash_hit=False,
+                                       address_bits=19)
+        cache.access(32 * 32)
+        cache.access(64 * 32)
+        result = cache.access(32 * 32)
+        assert result.second_probe_hit
+        again = cache.access(32 * 32)
+        # Without swapping the block stays at its rehash location.
+        assert again.second_probe_hit
+
+    def test_custom_secondary_function_validation(self):
+        with pytest.raises(ValueError):
+            ColumnAssociativeCache(1024, 32,
+                                   secondary_index=IPolyIndexing(64, address_bits=14))
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            ColumnAssociativeCache(1000, 32)
+        with pytest.raises(ValueError):
+            ColumnAssociativeCache(1024, 33)

@@ -1,0 +1,92 @@
+"""Unit tests for cache statistics and the 3C miss classifier."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, MissClassifier, MissKind
+
+
+class TestCacheStats:
+    def test_initial_state(self):
+        stats = CacheStats()
+        assert stats.accesses == 0
+        assert stats.miss_ratio == 0.0
+        assert stats.load_miss_ratio == 0.0
+
+    def test_counting(self):
+        stats = CacheStats()
+        stats.record_access(is_write=False, hit=True)
+        stats.record_access(is_write=False, hit=False, miss_kind=MissKind.COMPULSORY)
+        stats.record_access(is_write=True, hit=False, miss_kind=MissKind.CONFLICT)
+        assert stats.loads == 2
+        assert stats.stores == 1
+        assert stats.load_misses == 1
+        assert stats.store_misses == 1
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.miss_ratio == pytest.approx(2 / 3)
+        assert stats.load_miss_ratio == pytest.approx(0.5)
+
+    def test_miss_kind_breakdown(self):
+        stats = CacheStats()
+        stats.record_access(False, False, MissKind.CONFLICT)
+        stats.record_access(False, False, MissKind.CONFLICT)
+        stats.record_access(False, False, MissKind.CAPACITY)
+        assert stats.miss_kinds[MissKind.CONFLICT] == 2
+        assert stats.conflict_miss_ratio == pytest.approx(2 / 3)
+
+    def test_unknown_miss_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CacheStats().record_access(False, False, "weird")
+
+    def test_reset(self):
+        stats = CacheStats()
+        stats.record_access(False, False, MissKind.COMPULSORY)
+        stats.evictions = 5
+        stats.reset()
+        assert stats.accesses == 0
+        assert stats.evictions == 0
+        assert all(v == 0 for v in stats.miss_kinds.values())
+
+
+class TestMissClassifier:
+    def test_first_touch_is_compulsory(self):
+        classifier = MissClassifier(capacity_blocks=4)
+        assert classifier.classify(10, real_hit=False) == MissKind.COMPULSORY
+
+    def test_hit_returns_none(self):
+        classifier = MissClassifier(capacity_blocks=4)
+        classifier.classify(10, real_hit=False)
+        assert classifier.classify(10, real_hit=True) is None
+
+    def test_conflict_when_shadow_would_hit(self):
+        classifier = MissClassifier(capacity_blocks=4)
+        classifier.classify(1, real_hit=False)
+        classifier.classify(2, real_hit=False)
+        # Block 1 is still in the 4-entry shadow cache, so a real miss on it
+        # is a conflict miss.
+        assert classifier.classify(1, real_hit=False) == MissKind.CONFLICT
+
+    def test_capacity_when_shadow_also_misses(self):
+        classifier = MissClassifier(capacity_blocks=2)
+        for block in (1, 2, 3):          # pushes 1 out of the shadow LRU
+            classifier.classify(block, real_hit=False)
+        assert classifier.classify(1, real_hit=False) == MissKind.CAPACITY
+
+    def test_shadow_lru_order_updates_on_hits(self):
+        classifier = MissClassifier(capacity_blocks=2)
+        classifier.classify(1, real_hit=False)
+        classifier.classify(2, real_hit=False)
+        classifier.classify(1, real_hit=True)    # refresh 1
+        classifier.classify(3, real_hit=False)   # evicts 2, not 1
+        assert classifier.classify(1, real_hit=False) == MissKind.CONFLICT
+        assert classifier.classify(2, real_hit=False) == MissKind.CAPACITY
+
+    def test_reset(self):
+        classifier = MissClassifier(capacity_blocks=2)
+        classifier.classify(1, real_hit=False)
+        classifier.reset()
+        assert classifier.classify(1, real_hit=False) == MissKind.COMPULSORY
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MissClassifier(0)

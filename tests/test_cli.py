@@ -1,0 +1,54 @@
+"""Tests for the experiment command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("figure1", "table2", "table3", "miss-ratio", "holes",
+                        "column-assoc", "critical-path"):
+            args = parser.parse_args([command] if command in
+                                     ("critical-path",) else [command])
+            assert args.experiment == command
+
+    def test_figure1_options(self):
+        args = build_parser().parse_args(
+            ["figure1", "--max-stride", "128", "--stride-step", "2"])
+        assert args.max_stride == 128
+        assert args.stride_step == 2
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_critical_path_runs(self, capsys):
+        assert main(["critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "XOR-tree" in out and "CLA timing" in out
+
+    def test_figure1_runs_small(self, capsys):
+        assert main(["figure1", "--max-stride", "64", "--stride-step", "4",
+                     "--sweeps", "4"]) == 0
+        assert "pathological" in capsys.readouterr().out
+
+    def test_miss_ratio_csv_output(self, capsys):
+        assert main(["miss-ratio", "--accesses", "4000",
+                     "--programs", "gcc", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("program,")
+        assert "gcc" in out
+
+    def test_table2_single_program(self, capsys):
+        assert main(["table2", "--instructions", "2000",
+                     "--programs", "swim"]) == 0
+        out = capsys.readouterr().out
+        assert "swim" in out and "std-dev" in out
+
+    def test_column_assoc_runs(self, capsys):
+        assert main(["column-assoc", "--accesses", "4000"]) == 0
+        assert "first-probe" in capsys.readouterr().out

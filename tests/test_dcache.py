@@ -1,0 +1,112 @@
+"""Unit tests for the data-cache timing model."""
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cpu.dcache import DataCacheModel, DataCacheTiming
+
+
+def make_model(**timing_kwargs):
+    cache = SetAssociativeCache(8 * 1024, 32, 2)
+    return DataCacheModel(cache, DataCacheTiming(**timing_kwargs))
+
+
+class TestTimingParameters:
+    def test_defaults_match_paper(self):
+        timing = DataCacheTiming()
+        assert timing.hit_time == 2
+        assert timing.miss_penalty == 20
+        assert timing.mshr_entries == 8
+        assert timing.bus_cycles_per_line == 4
+        assert timing.ports == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataCacheTiming(hit_time=0)
+        with pytest.raises(ValueError):
+            DataCacheTiming(ports=0)
+        with pytest.raises(ValueError):
+            DataCacheTiming(mshr_entries=0)
+
+
+class TestLoadTiming:
+    def test_hit_latency(self):
+        model = make_model()
+        model.load(0x100, request_cycle=0)          # miss, fills the line
+        timing = model.load(0x100, request_cycle=100)
+        assert timing.hit
+        assert timing.latency == 2
+
+    def test_miss_latency_includes_penalty(self):
+        model = make_model()
+        timing = model.load(0x200, request_cycle=0)
+        assert not timing.hit
+        assert timing.ready_cycle >= 22              # hit time + miss penalty
+
+    def test_xor_penalty_applied_when_in_critical_path(self):
+        base = make_model()
+        slowed = make_model(xor_in_critical_path=True)
+        base.load(0x100, 0)
+        slowed.load(0x100, 0)
+        fast = base.load(0x100, 100)
+        slow = slowed.load(0x100, 100)
+        assert slow.ready_cycle == fast.ready_cycle + 1
+        assert slow.xor_penalty_paid
+
+    def test_xor_penalty_removed_by_correct_prediction(self):
+        model = make_model(xor_in_critical_path=True)
+        model.load(0x100, 0)
+        timing = model.load(0x100, 100, predicted_index_available=True)
+        assert not timing.xor_penalty_paid
+        assert timing.latency == 2
+
+    def test_secondary_miss_merges(self):
+        model = make_model()
+        first = model.load(0x300, request_cycle=0)
+        second = model.load(0x308, request_cycle=1)   # same 32-byte line
+        assert second.merged
+        assert second.ready_cycle >= first.ready_cycle
+        assert model.merged_misses == 1
+
+    def test_mshr_limit_stalls_ninth_outstanding_miss(self):
+        model = make_model(mshr_entries=8, bus_cycles_per_line=1)
+        results = [model.load(0x1000 * (i + 1), request_cycle=0) for i in range(9)]
+        # The ninth primary miss cannot begin its fill until one of the first
+        # eight outstanding fills completes.
+        assert model.mshr_stall_cycles > 0
+        assert results[8].ready_cycle > results[0].ready_cycle
+
+    def test_bus_occupancy_serialises_back_to_back_misses(self):
+        model = make_model()
+        a = model.load(0x1000, request_cycle=0)
+        b = model.load(0x2000, request_cycle=0)
+        assert b.ready_cycle >= a.ready_cycle + 4 - 1   # one line per 4 cycles
+
+
+class TestStores:
+    def test_store_counts_in_cache_stats(self):
+        model = make_model()
+        model.store(0x400, commit_cycle=10)
+        assert model.cache.stats.stores == 1
+        assert model.store_accesses == 1
+
+    def test_write_no_allocate(self):
+        model = make_model()
+        assert model.store(0x500, commit_cycle=1) is False
+        assert not model.cache.contains(0x500)
+
+    def test_load_miss_ratio_property(self):
+        model = make_model()
+        model.load(0x100, 0)
+        model.load(0x100, 50)
+        assert model.load_miss_ratio == pytest.approx(0.5)
+
+
+class TestReset:
+    def test_reset_timing_state_keeps_contents(self):
+        model = make_model()
+        model.load(0x100, 0)
+        model.reset_timing_state()
+        assert model.cache.contains(0x100)
+        timing = model.load(0x100, 10)
+        assert timing.hit

@@ -1,0 +1,180 @@
+"""Tests for the experiment drivers (scaled-down versions of each table/figure)."""
+
+import pytest
+
+from repro.experiments.column_assoc_study import run_column_assoc_study
+from repro.experiments.config import (
+    PAPER_L1_8KB,
+    PAPER_L1_16KB,
+    TABLE2_CONFIGS,
+    CacheGeometry,
+    build_cache,
+    table2_processor_configs,
+)
+from repro.experiments.critical_path import run_critical_path_study
+from repro.experiments.figure1 import run_figure1, stride_miss_ratio
+from repro.experiments.holes_study import run_holes_study
+from repro.experiments.miss_ratio_study import run_miss_ratio_study
+from repro.experiments.table2 import miss_ratio_std_dev, run_table2
+from repro.experiments.table3 import run_table3
+
+
+class TestConfig:
+    def test_paper_geometries(self):
+        assert PAPER_L1_8KB.num_sets == 128
+        assert PAPER_L1_16KB.num_sets == 256
+        assert PAPER_L1_8KB.label == "8KB-2way"
+
+    def test_build_cache_scheme(self):
+        cache = build_cache(PAPER_L1_8KB, "a2-Hp-Sk")
+        assert cache.index_function.name == "a2-Hp-Sk"
+        assert cache.size_bytes == 8 * 1024
+
+    def test_table2_has_six_configurations(self):
+        assert len(TABLE2_CONFIGS) == 6
+        configs = table2_processor_configs()
+        assert configs["16K-conv"].cache_size_bytes == 16 * 1024
+        assert configs["8K-ipoly-CP"].xor_in_critical_path
+        assert configs["8K-ipoly-CP-pred"].address_prediction
+
+
+class TestFigure1:
+    def test_power_of_two_strides(self):
+        """Conventional indexing thrashes on 2^k strides; I-Poly does not."""
+        for stride in (64, 128, 256):
+            assert stride_miss_ratio("a2", stride) > 0.9
+            assert stride_miss_ratio("a2-Hp-Sk", stride) < 0.3
+
+    def test_unit_stride_is_cheap_everywhere(self):
+        for scheme in ("a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"):
+            assert stride_miss_ratio(scheme, 1) < 0.1
+
+    def test_small_sweep_shape(self):
+        result = run_figure1(max_stride=257, sweeps=8)
+        summary = result.summary()
+        assert summary["a2"] > 0.0
+        assert summary["a2-Hp-Sk"] == 0.0
+        assert summary["a2"] > summary["a2-Hp-Sk"]
+        # Histograms account for every stride tested.
+        assert all(h.total == result.strides for h in result.histograms.values())
+
+    def test_render(self):
+        result = run_figure1(max_stride=65, sweeps=4)
+        text = result.render()
+        assert "a2-Hp-Sk" in text and "pathological" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_figure1(max_stride=1)
+        with pytest.raises(ValueError):
+            stride_miss_ratio("a2", 0)
+
+
+class TestMissRatioStudy:
+    def test_ordering_matches_section_2_1(self):
+        result = run_miss_ratio_study(
+            programs=["swim", "tomcatv", "gcc", "fpppp"], accesses=15_000)
+        averages = result.averages()
+        assert averages["conventional-2way"] > averages["ipoly-skewed-2way"]
+        assert abs(averages["ipoly-skewed-2way"]
+                   - averages["fully-associative"]) < 6.0
+        text = result.render()
+        assert "Average" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_miss_ratio_study(accesses=10)
+
+
+class TestHolesStudy:
+    def test_model_and_simulation_are_both_small(self):
+        result = run_holes_study(l2_sizes=[64 * 1024],
+                                 programs=["swim", "gcc"], accesses=20_000)
+        size = 64 * 1024
+        assert result.predicted_hole_probability[size] == pytest.approx(
+            (2 ** 8 - 1) / 2 ** 11)
+        assert 0.0 <= result.simulated_hole_rate[size] <= \
+            result.predicted_hole_probability[size] + 0.05
+        assert result.l2_misses[size] > 0
+        assert "model P_H" in result.render()
+
+    def test_larger_l2_never_increases_hole_rate(self):
+        result = run_holes_study(l2_sizes=[64 * 1024, 256 * 1024],
+                                 programs=["swim"], accesses=20_000)
+        assert (result.simulated_hole_rate[256 * 1024]
+                <= result.simulated_hole_rate[64 * 1024] + 1e-9)
+
+
+class TestColumnAssocStudy:
+    def test_first_probe_hits_dominate(self):
+        """Section 3.1: around 90% of hits are found on the first probe."""
+        result = run_column_assoc_study(programs=["gcc", "swim", "li"],
+                                        accesses=20_000)
+        assert result.mean_first_probe_hit_ratio() > 0.8
+        assert all(p >= 1.0 for p in result.average_probes.values())
+        assert "first-probe" in result.render()
+
+
+class TestCriticalPathStudy:
+    def test_paper_hardware_claims(self):
+        result = run_critical_path_study(index_bit_widths=(7,),
+                                         address_bits=19,
+                                         hash_bit_widths=(19,))
+        assert result.max_fan_in() <= 5
+        assert result.cla_delays[19]["low_bits_delay"] == 9
+        assert result.cla_delays[19]["full_add_delay"] == 11
+        assert "XOR-tree" in result.render()
+
+
+@pytest.fixture(scope="module")
+def small_table2():
+    """One scaled-down Table 2 run shared by the slower experiment tests."""
+    return run_table2(programs=["swim", "tomcatv", "wave5", "gcc", "fpppp"],
+                      instructions=6_000)
+
+
+class TestTable2:
+    def test_structure(self, small_table2):
+        assert small_table2.programs == ["swim", "tomcatv", "wave5", "gcc", "fpppp"]
+        assert set(small_table2.configurations) == set(TABLE2_CONFIGS)
+        text = small_table2.render()
+        assert "Combined average" in text and "swim" in text
+
+    def test_ipoly_beats_conventional_for_bad_programs(self, small_table2):
+        for program in ("swim", "tomcatv", "wave5"):
+            assert (small_table2.ipc(program, "8K-ipoly-noCP")
+                    > small_table2.ipc(program, "8K-conv"))
+            assert (small_table2.miss_ratio_percent(program, "8K-ipoly-noCP")
+                    < small_table2.miss_ratio_percent(program, "8K-conv") / 2)
+
+    def test_xor_in_critical_path_costs_a_little(self, small_table2):
+        for program in small_table2.programs:
+            assert (small_table2.ipc(program, "8K-ipoly-CP")
+                    <= small_table2.ipc(program, "8K-ipoly-noCP") + 1e-9)
+
+    def test_prediction_recovers_the_critical_path_penalty(self, small_table2):
+        for program in small_table2.programs:
+            assert (small_table2.ipc(program, "8K-ipoly-CP-pred")
+                    >= small_table2.ipc(program, "8K-ipoly-CP") - 1e-9)
+
+    def test_std_dev_reduction(self, small_table2):
+        stds = miss_ratio_std_dev(small_table2)
+        assert stds["8K-ipoly-noCP"] < stds["8K-conv"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_table2(instructions=10)
+
+
+class TestTable3:
+    def test_improvement_summary_shape(self, small_table2):
+        table3 = run_table3(table2_result=small_table2)
+        assert table3.bad_programs == ["swim", "tomcatv", "wave5"]
+        summary = table3.improvement_summary()
+        # Bad programs gain substantially from I-Poly even with the XOR stage
+        # on the critical path; good programs lose only a little.
+        assert summary["bad_ipoly_cp_vs_8k_conv"] > 10.0
+        assert summary["bad_ipoly_cp_pred_vs_8k_conv"] >= summary["bad_ipoly_cp_vs_8k_conv"]
+        assert summary["bad_ipoly_cp_pred_vs_16k_conv"] > 0.0
+        assert summary["good_ipoly_cp_vs_8k_conv"] > -10.0
+        assert "Average-bad" in table3.render()

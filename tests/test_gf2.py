@@ -1,0 +1,199 @@
+"""Unit tests for GF(2) polynomial arithmetic."""
+
+import pytest
+
+from repro.core.gf2 import (
+    degree,
+    gf2_add,
+    gf2_divmod,
+    gf2_gcd,
+    gf2_mod,
+    gf2_mul,
+    gf2_mul_mod,
+    gf2_pow_mod,
+    irreducible_polynomials,
+    is_irreducible,
+    is_primitive,
+    poly_to_string,
+    primitive_polynomials,
+    string_to_poly,
+)
+
+
+class TestDegree:
+    def test_zero_polynomial(self):
+        assert degree(0) == -1
+
+    def test_constant(self):
+        assert degree(1) == 0
+
+    def test_general(self):
+        assert degree(0b1011) == 3
+        assert degree(1 << 20) == 20
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            degree(-1)
+
+
+class TestAddMul:
+    def test_add_is_xor(self):
+        assert gf2_add(0b101, 0b011) == 0b110
+
+    def test_add_self_is_zero(self):
+        assert gf2_add(0b11011, 0b11011) == 0
+
+    def test_mul_by_zero(self):
+        assert gf2_mul(0b1011, 0) == 0
+        assert gf2_mul(0, 0b1011) == 0
+
+    def test_mul_by_one(self):
+        assert gf2_mul(0b1011, 1) == 0b1011
+
+    def test_mul_known_value(self):
+        # (x + 1)^2 = x^2 + 1 over GF(2)
+        assert gf2_mul(0b11, 0b11) == 0b101
+
+    def test_mul_is_commutative(self):
+        assert gf2_mul(0b110101, 0b1011) == gf2_mul(0b1011, 0b110101)
+
+    def test_mul_degree_adds(self):
+        a, b = 0b1001001, 0b10011
+        assert degree(gf2_mul(a, b)) == degree(a) + degree(b)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gf2_mul(-1, 2)
+
+
+class TestDivMod:
+    def test_division_identity(self):
+        a, b = 0b1101101101, 0b1011
+        q, r = gf2_divmod(a, b)
+        assert gf2_add(gf2_mul(q, b), r) == a
+        assert degree(r) < degree(b)
+
+    def test_mod_matches_divmod(self):
+        a, b = 0b111010111, 0b10011
+        assert gf2_mod(a, b) == gf2_divmod(a, b)[1]
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf2_divmod(0b101, 0)
+
+    def test_small_numerator(self):
+        assert gf2_divmod(0b11, 0b1011) == (0, 0b11)
+
+    def test_mod_is_idempotent(self):
+        a, p = 0xDEADBEEF, 0b100011011
+        assert gf2_mod(gf2_mod(a, p), p) == gf2_mod(a, p)
+
+
+class TestGcdPow:
+    def test_gcd_common_factor(self):
+        # gcd(x^2 + x, x^2) == x
+        assert gf2_gcd(0b110, 0b100) == 0b10
+
+    def test_gcd_coprime(self):
+        assert gf2_gcd(0b1011, 0b111) == 1
+
+    def test_gcd_with_zero(self):
+        assert gf2_gcd(0b1011, 0) == 0b1011
+
+    def test_pow_mod_small(self):
+        # x^3 mod (x^3 + x + 1) = x + 1
+        assert gf2_pow_mod(0b10, 3, 0b1011) == 0b11
+
+    def test_pow_mod_fermat_like(self):
+        # x^(2^3 - 1) = 1 mod any primitive degree-3 polynomial
+        assert gf2_pow_mod(0b10, 7, 0b1011) == 1
+
+    def test_pow_zero_exponent(self):
+        assert gf2_pow_mod(0b1101, 0, 0b1011) == 1
+
+    def test_mul_mod_stays_reduced(self):
+        p = 0b100011011
+        result = gf2_mul_mod(0xAB, 0xCD, p)
+        assert degree(result) < degree(p)
+
+    def test_pow_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            gf2_pow_mod(0b10, -1, 0b1011)
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        assert is_irreducible(0b1011)         # x^3 + x + 1
+        assert is_irreducible(0b10011)        # x^4 + x + 1
+        assert is_irreducible(0b100011011)    # AES polynomial
+
+    def test_known_reducible(self):
+        assert not is_irreducible(0b1001)     # x^3 + 1 = (x+1)(x^2+x+1)
+        assert not is_irreducible(0b110)      # x^2 + x = x(x+1)
+
+    def test_constants_not_irreducible(self):
+        assert not is_irreducible(1)
+        assert not is_irreducible(0)
+
+    def test_degree_one_irreducible(self):
+        assert is_irreducible(0b10)
+        assert is_irreducible(0b11)
+
+    def test_enumeration_degree_2(self):
+        assert list(irreducible_polynomials(2)) == [0b111]
+
+    def test_enumeration_count_degree_4(self):
+        # There are exactly 3 irreducible polynomials of degree 4 over GF(2).
+        assert len(list(irreducible_polynomials(4))) == 3
+
+    def test_enumeration_count_degree_5(self):
+        # (2^5 - 2) / 5 = 6 irreducible polynomials of degree 5.
+        assert len(list(irreducible_polynomials(5))) == 6
+
+    def test_enumerated_are_irreducible(self):
+        for poly in irreducible_polynomials(6):
+            assert is_irreducible(poly)
+            assert degree(poly) == 6
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            list(irreducible_polynomials(0))
+
+
+class TestPrimitivity:
+    def test_primitive_examples(self):
+        assert is_primitive(0b1011)      # x^3 + x + 1
+        assert is_primitive(0b10011)     # x^4 + x + 1
+
+    def test_irreducible_but_not_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but its root has order 5, not 15.
+        assert is_irreducible(0b11111)
+        assert not is_primitive(0b11111)
+
+    def test_reducible_not_primitive(self):
+        assert not is_primitive(0b1001)
+
+    def test_primitive_enumeration_subset_of_irreducible(self):
+        prim = set(primitive_polynomials(4))
+        irr = set(irreducible_polynomials(4))
+        assert prim <= irr
+        assert 0b11111 in irr - prim
+
+
+class TestStringConversion:
+    def test_round_trip(self):
+        for poly in (0, 1, 0b10, 0b1011, 0b100011011):
+            assert string_to_poly(poly_to_string(poly)) == poly
+
+    def test_format(self):
+        assert poly_to_string(0b1011) == "x^3 + x + 1"
+        assert poly_to_string(0) == "0"
+        assert poly_to_string(1) == "1"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            string_to_poly("x^2 + y")
+
+    def test_parse_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            string_to_poly("x + x")

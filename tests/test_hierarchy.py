@@ -1,0 +1,114 @@
+"""Unit tests for the inclusive two-level hierarchy and hole accounting."""
+
+import pytest
+
+from repro.cache.hierarchy import TwoLevelHierarchy
+from repro.cache.set_assoc import SetAssociativeCache, WritePolicy
+from repro.core.index import IPolyIndexing
+
+
+def build_hierarchy(l1_size=512, l2_size=2048, block=32, enforce=True,
+                    l1_index=None, l2_index=None):
+    l1 = SetAssociativeCache(l1_size, block, 2, index_function=l1_index)
+    l2 = SetAssociativeCache(l2_size, block, 2, index_function=l2_index,
+                             write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    return TwoLevelHierarchy(l1, l2, enforce_inclusion=enforce)
+
+
+class TestBasicFlow:
+    def test_miss_fills_both_levels(self):
+        hierarchy = build_hierarchy()
+        result = hierarchy.access(0x100)
+        assert not result.l1_hit and not result.l2_hit
+        assert hierarchy.l1.contains(0x100)
+        assert hierarchy.l2.contains(0x100)
+
+    def test_l1_hit_does_not_touch_l2_loads(self):
+        hierarchy = build_hierarchy()
+        hierarchy.access(0x100)
+        l2_accesses_before = hierarchy.l2.stats.accesses
+        result = hierarchy.access(0x100)
+        assert result.l1_hit
+        assert hierarchy.l2.stats.accesses == l2_accesses_before
+
+    def test_write_through_propagates_stores_to_l2(self):
+        hierarchy = build_hierarchy()
+        hierarchy.access(0x100)
+        hierarchy.access(0x100, is_write=True)
+        assert hierarchy.l2.stats.stores == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = build_hierarchy(l1_size=128, l2_size=4096)  # tiny L1
+        hierarchy.access(0)
+        for i in range(1, 8):
+            hierarchy.access(i * 512)        # push block 0 out of L1
+        result = hierarchy.access(0)
+        assert not result.l1_hit
+        assert result.l2_hit
+
+
+class TestInclusion:
+    def test_inclusion_invariant_holds_under_stress(self):
+        hierarchy = build_hierarchy(
+            l1_size=512, l2_size=2048,
+            l1_index=IPolyIndexing(8, ways=2, skewed=True, address_bits=16))
+        for i in range(500):
+            hierarchy.access((i * 37 % 211) * 32)
+            if i % 50 == 0:
+                assert hierarchy.check_inclusion()
+        assert hierarchy.check_inclusion()
+
+    def test_back_invalidation_creates_holes(self):
+        hierarchy = build_hierarchy(
+            l1_size=512, l2_size=1024,
+            l1_index=IPolyIndexing(8, ways=2, skewed=True, address_bits=16))
+        # Four blocks that collide in one L2 set (1 KB 2-way = 16 sets) but
+        # all fit comfortably in the 16-block L1: every L2 eviction removes a
+        # line that is still live in L1, forcing a back-invalidation.
+        blocks = [0, 16, 32, 48]
+        for _ in range(6):
+            for b in blocks:
+                hierarchy.access(b * 32)
+        assert hierarchy.back_invalidations > 0
+        assert hierarchy.holes_created > 0
+        assert hierarchy.check_inclusion()
+
+    def test_hole_rate_definition(self):
+        hierarchy = build_hierarchy(l1_size=512, l2_size=1024)
+        for i in range(256):
+            hierarchy.access(i * 32)
+        rate = hierarchy.hole_rate_per_l2_miss
+        assert 0.0 <= rate <= 1.0
+        if hierarchy.l2_misses_causing_holes:
+            assert rate > 0
+
+    def test_non_inclusive_mode_creates_no_holes(self):
+        hierarchy = build_hierarchy(l1_size=512, l2_size=1024, enforce=False)
+        for rounds in range(3):
+            for i in range(128):
+                hierarchy.access(i * 32)
+        assert hierarchy.holes_created == 0
+        assert hierarchy.back_invalidations == 0
+
+
+class TestValidation:
+    def test_l2_must_not_be_smaller_than_l1(self):
+        l1 = SetAssociativeCache(2048, 32, 2)
+        l2 = SetAssociativeCache(1024, 32, 2)
+        with pytest.raises(ValueError):
+            TwoLevelHierarchy(l1, l2)
+
+    def test_block_sizes_must_nest(self):
+        l1 = SetAssociativeCache(512, 64, 2)
+        l2 = SetAssociativeCache(2048, 32, 2)
+        with pytest.raises(ValueError):
+            TwoLevelHierarchy(l1, l2)
+
+    def test_different_block_sizes_supported_when_nested(self):
+        l1 = SetAssociativeCache(512, 32, 2)
+        l2 = SetAssociativeCache(4096, 64, 2,
+                                 write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        hierarchy = TwoLevelHierarchy(l1, l2)
+        for i in range(64):
+            hierarchy.access(i * 32)
+        assert hierarchy.check_inclusion()

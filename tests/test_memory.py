@@ -1,0 +1,199 @@
+"""Unit tests for the memory substrate: addresses, paging, translation, main memory."""
+
+import pytest
+
+from repro.memory.address import (
+    AddressLayout,
+    block_base,
+    block_number,
+    block_offset,
+    is_power_of_two,
+    log2_exact,
+    page_number,
+    page_offset,
+)
+from repro.memory.main_memory import Bus, MainMemory
+from repro.memory.paging import PageSizePolicy, PageTable, Segment, TLB
+from repro.memory.translation import AddressTranslator
+
+
+class TestAddressHelpers:
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(48)
+
+    def test_log2_exact(self):
+        assert log2_exact(32) == 5
+        with pytest.raises(ValueError):
+            log2_exact(33)
+
+    def test_block_arithmetic(self):
+        assert block_number(100, 32) == 3
+        assert block_offset(100, 32) == 4
+        assert block_base(100, 32) == 96
+
+    def test_page_arithmetic(self):
+        assert page_number(8192, 4096) == 2
+        assert page_offset(8193, 4096) == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            block_number(-1, 32)
+
+
+class TestAddressLayout:
+    def test_paper_8kb_cache_exceeds_4k_page(self):
+        """The Section 3.1 motivation: an 8 KB 2-way cache (128 sets, 32 B
+        blocks) needs index bits beyond a 4 KB page offset once hashing wants
+        more than 7 bits; conventional indexing itself just fits."""
+        layout = AddressLayout(block_size=32, num_sets=128, page_size=4096)
+        assert layout.offset_bits == 5
+        assert layout.index_bits == 7
+        assert layout.untranslated_index_bits == 7
+        assert not layout.index_exceeds_page
+        assert layout.usable_hash_bits() == 7
+
+    def test_larger_cache_exceeds_page(self):
+        layout = AddressLayout(block_size=32, num_sets=1024, page_size=4096)
+        assert layout.index_exceeds_page
+
+    def test_large_pages_expose_more_bits(self):
+        layout = AddressLayout(block_size=32, num_sets=128, page_size=256 * 1024)
+        assert layout.usable_hash_bits() == 13   # the paper's option-2 example
+
+
+class TestPageTable:
+    def test_translation_preserves_offset(self):
+        table = PageTable(page_size=4096)
+        physical = table.translate(0x1234)
+        assert physical % 4096 == 0x234
+
+    def test_same_page_same_frame(self):
+        table = PageTable()
+        a = table.translate(0x1000)
+        b = table.translate(0x1FFF)
+        assert a // 4096 == b // 4096
+
+    def test_scatter_allocation_not_identity(self):
+        table = PageTable(allocation="scatter")
+        frames = [table.frame_of(vpn) for vpn in range(32)]
+        assert frames != sorted(frames) or frames != list(range(32))
+        assert len(set(frames)) == 32            # no double allocation
+
+    def test_sequential_allocation(self):
+        table = PageTable(allocation="sequential")
+        assert [table.frame_of(v) for v in (5, 9, 2)] == [0, 1, 2]
+
+    def test_page_faults_counted(self):
+        table = PageTable()
+        table.translate(0)
+        table.translate(10)          # same page
+        table.translate(5000)        # new page
+        assert table.page_faults == 2
+
+    def test_invalid_allocation(self):
+        with pytest.raises(ValueError):
+            PageTable(allocation="hugepages")
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        assert tlb.lookup(0x1000) is None
+        tlb.insert(0x1000, frame=7)
+        assert tlb.lookup(0x1080) == 7
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.insert(0x0000, 1)
+        tlb.insert(0x1000, 2)
+        tlb.lookup(0x0000)           # refresh page 0
+        tlb.insert(0x2000, 3)        # evicts page 1
+        assert tlb.lookup(0x1000) is None
+        assert tlb.lookup(0x0000) == 1
+
+    def test_flush(self):
+        tlb = TLB(entries=4)
+        tlb.insert(0, 1)
+        tlb.flush()
+        assert tlb.lookup(0) is None
+
+
+class TestPageSizePolicy:
+    def test_enables_only_when_all_segments_large(self):
+        policy = PageSizePolicy(threshold=256 * 1024)
+        policy.add_segment("data", Segment(0, 1 << 20, page_size=256 * 1024))
+        assert policy.poly_indexing_enabled
+        policy.add_segment("stack", Segment(1 << 30, 1 << 16, page_size=4096))
+        assert not policy.poly_indexing_enabled
+
+    def test_flush_counted_on_transitions(self):
+        policy = PageSizePolicy()
+        policy.add_segment("a", Segment(0, 4096, page_size=1 << 20))
+        policy.add_segment("b", Segment(1 << 21, 4096, page_size=4096))
+        policy.remove_segment("b")
+        assert policy.flushes_required == 3   # off->on, on->off, off->on
+
+    def test_unmapped_bits(self):
+        policy = PageSizePolicy()
+        policy.add_segment("a", Segment(0, 4096, page_size=256 * 1024))
+        assert policy.unmapped_bits(cache_offset_bits=5) == 13
+
+
+class TestTranslator:
+    def test_tlb_hit_is_cheaper(self):
+        table = PageTable()
+        translator = AddressTranslator(table, TLB(entries=8),
+                                       tlb_latency=1, walk_latency=20)
+        first = translator.lookup(0x5000)
+        second = translator.lookup(0x5010)
+        assert not first.tlb_hit and second.tlb_hit
+        assert second.latency < first.latency
+        assert first.physical_address // 4096 == second.physical_address // 4096
+
+    def test_translate_without_tlb(self):
+        table = PageTable()
+        translator = AddressTranslator(table)
+        assert translator.translate(0x77) % 4096 == 0x77
+
+    def test_page_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AddressTranslator(PageTable(page_size=4096), TLB(page_size=8192))
+
+
+class TestMainMemoryAndBus:
+    def test_fixed_latency(self):
+        memory = MainMemory(access_latency=20)
+        request = memory.request(block_number=1, now=100)
+        assert request.ready_at == 120
+        assert request.latency == 20
+
+    def test_bus_serialises_transfers(self):
+        bus = Bus(cycles_per_transaction=4)
+        first_done = bus.reserve(0)
+        second_done = bus.reserve(0)
+        assert first_done == 4
+        assert second_done == 8
+        assert bus.transactions == 2
+
+    def test_bus_utilisation(self):
+        bus = Bus(4)
+        bus.reserve(0)
+        assert bus.utilisation(8) == pytest.approx(0.5)
+        assert bus.utilisation(0) == 0.0
+
+    def test_memory_with_bus_contention(self):
+        memory = MainMemory(access_latency=20, bus=Bus(4))
+        r1 = memory.request(1, now=0)
+        r2 = memory.request(2, now=0)
+        assert r2.ready_at >= r1.ready_at
+        assert memory.average_latency >= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MainMemory(access_latency=0)
+        with pytest.raises(ValueError):
+            Bus(0)

@@ -1,0 +1,98 @@
+"""Tests for the analytical models (holes and CLA timing)."""
+
+import pytest
+
+from repro.models.cla_timing import ClaTimingModel, paper_example
+from repro.models.holes import (
+    HoleModel,
+    displacement_probability,
+    expected_l1_missratio_increase,
+    hole_probability,
+    index_bits_for,
+    resident_probability,
+)
+
+
+class TestHoleModel:
+    def test_index_bits(self):
+        assert index_bits_for(8 * 1024, 32) == 8
+        assert index_bits_for(256 * 1024, 32) == 13
+        assert index_bits_for(8 * 1024, 32, ways=2) == 7
+
+    def test_index_bits_validation(self):
+        with pytest.raises(ValueError):
+            index_bits_for(1000, 32)
+        with pytest.raises(ValueError):
+            index_bits_for(0, 32)
+
+    def test_equation_vii(self):
+        assert resident_probability(8, 13) == pytest.approx(2 ** -5)
+
+    def test_equation_viii(self):
+        assert displacement_probability(8) == pytest.approx(255 / 256)
+
+    def test_equation_ix_is_product(self):
+        m1, m2 = 8, 13
+        assert hole_probability(m1, m2) == pytest.approx(
+            resident_probability(m1, m2) * displacement_probability(m1))
+
+    def test_paper_example_8k_256k(self):
+        """The paper: P_H = 0.031 for an 8 KB L1 and 256 KB L2, 32 B lines."""
+        model = HoleModel(l1_bytes=8 * 1024, l2_bytes=256 * 1024, block_size=32)
+        assert model.hole_probability == pytest.approx(0.031, abs=0.001)
+
+    def test_larger_l2_gives_smaller_hole_probability(self):
+        small = HoleModel(8 * 1024, 256 * 1024).hole_probability
+        large = HoleModel(8 * 1024, 1024 * 1024).hole_probability
+        assert large < small
+        assert large == pytest.approx(small / 4, rel=0.01)
+
+    def test_missratio_increase(self):
+        model = HoleModel(8 * 1024, 1024 * 1024)
+        assert model.missratio_increase(0.05) == pytest.approx(
+            model.hole_probability * 0.05)
+        assert expected_l1_missratio_increase(8, 15, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hole_probability(10, 5)          # L1 larger than L2
+        with pytest.raises(ValueError):
+            expected_l1_missratio_increase(8, 13, 1.5)
+
+
+class TestClaTiming:
+    def test_paper_example_numbers(self):
+        """Section 3.4: 19 low bits after ~9 block delays, 64 bits after ~11."""
+        numbers = paper_example()
+        assert numbers["hash_bits_delay_blocks"] == 9
+        assert numbers["full_add_delay_blocks"] == 11
+        assert numbers["slack_blocks"] == 2
+        assert numbers["xor_hidden"] is True
+
+    def test_monotonic_in_bits(self):
+        model = ClaTimingModel(address_bits=64, block_bits=2)
+        delays = [model.delay_for_bits(b) for b in (2, 4, 8, 16, 32, 64)]
+        assert delays == sorted(delays)
+        assert delays == [1, 3, 5, 7, 9, 11]
+
+    def test_slack_never_negative(self):
+        model = ClaTimingModel(address_bits=64, block_bits=2)
+        assert all(model.slack_for_bits(b) >= 0 for b in range(1, 65))
+
+    def test_wider_radix_is_faster(self):
+        binary = ClaTimingModel(address_bits=64, block_bits=2)
+        radix4 = ClaTimingModel(address_bits=64, block_bits=4)
+        assert radix4.full_add_delay < binary.full_add_delay
+
+    def test_xor_fits_in_slack(self):
+        model = ClaTimingModel(address_bits=64, block_bits=2)
+        assert model.xor_fits_in_slack(19, xor_delay_blocks=1)
+        assert not model.xor_fits_in_slack(64, xor_delay_blocks=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClaTimingModel(address_bits=0)
+        with pytest.raises(ValueError):
+            ClaTimingModel(block_bits=1)
+        with pytest.raises(ValueError):
+            ClaTimingModel().delay_for_bits(0)

@@ -1,0 +1,87 @@
+"""Unit tests for the MSHR file (lockup-free cache support)."""
+
+import pytest
+
+from repro.cache.mshr import MSHRAllocation, MSHRFile
+
+
+class TestAllocation:
+    def test_new_entry(self):
+        mshrs = MSHRFile(num_entries=2)
+        assert mshrs.allocate(10, now=0) == MSHRAllocation.NEW
+        assert mshrs.primary_misses == 1
+        assert mshrs.occupancy == 1
+
+    def test_merge_same_block(self):
+        mshrs = MSHRFile(num_entries=2)
+        mshrs.allocate(10, now=0, waiter=1)
+        assert mshrs.allocate(10, now=1, waiter=2) == MSHRAllocation.MERGED
+        assert mshrs.secondary_misses == 1
+        assert mshrs.lookup(10).waiters == [1, 2]
+        assert mshrs.occupancy == 1
+
+    def test_full_file_stalls(self):
+        mshrs = MSHRFile(num_entries=2)
+        mshrs.allocate(1, now=0)
+        mshrs.allocate(2, now=0)
+        assert mshrs.is_full
+        assert mshrs.allocate(3, now=0) == MSHRAllocation.FULL
+        assert mshrs.structural_stalls == 1
+
+    def test_merge_limit(self):
+        mshrs = MSHRFile(num_entries=2, max_merged=2)
+        mshrs.allocate(1, now=0, waiter=10)
+        mshrs.allocate(1, now=0, waiter=11)
+        assert mshrs.allocate(1, now=0, waiter=12) == MSHRAllocation.MERGE_FULL
+
+    def test_paper_configuration_allows_8_outstanding_lines(self):
+        mshrs = MSHRFile(num_entries=8)
+        for block in range(8):
+            assert mshrs.allocate(block, now=0) == MSHRAllocation.NEW
+        assert mshrs.allocate(99, now=0) == MSHRAllocation.FULL
+
+
+class TestCompletion:
+    def test_completed_pops_ready_entries(self):
+        mshrs = MSHRFile()
+        mshrs.allocate(1, now=0, ready_at=10)
+        mshrs.allocate(2, now=0, ready_at=20)
+        done = mshrs.completed(now=15)
+        assert [e.block_number for e in done] == [1]
+        assert mshrs.occupancy == 1
+
+    def test_set_ready_later(self):
+        mshrs = MSHRFile()
+        mshrs.allocate(1, now=0)
+        assert mshrs.completed(now=100) == []
+        mshrs.set_ready(1, ready_at=50)
+        assert [e.block_number for e in mshrs.completed(now=60)] == [1]
+
+    def test_set_ready_unknown_block(self):
+        with pytest.raises(KeyError):
+            MSHRFile().set_ready(7, 10)
+
+    def test_release(self):
+        mshrs = MSHRFile()
+        mshrs.allocate(5, now=0)
+        entry = mshrs.release(5)
+        assert entry.block_number == 5
+        assert mshrs.occupancy == 0
+        with pytest.raises(KeyError):
+            mshrs.release(5)
+
+    def test_flush(self):
+        mshrs = MSHRFile()
+        mshrs.allocate(1, now=0)
+        mshrs.allocate(2, now=0)
+        mshrs.flush()
+        assert mshrs.occupancy == 0
+        assert mshrs.outstanding_blocks() == []
+
+
+class TestValidation:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            MSHRFile(num_entries=0)
+        with pytest.raises(ValueError):
+            MSHRFile(max_merged=0)

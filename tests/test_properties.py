@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.fully_assoc import FullyAssociativeCache
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.stats import MissKind
+from repro.core.gf2 import degree, gf2_add, gf2_divmod, gf2_mod, gf2_mul
+from repro.core.index import BitSelectIndexing, IPolyIndexing, XorFoldIndexing
+from repro.core.xor_matrix import derive_xor_matrix
+from repro.cpu.address_predictor import StrideAddressPredictor
+from repro.cpu.resources import ThroughputLimiter, WindowResource
+
+polys = st.integers(min_value=0, max_value=(1 << 24) - 1)
+nonzero_polys = st.integers(min_value=1, max_value=(1 << 24) - 1)
+blocks = st.integers(min_value=0, max_value=(1 << 30) - 1)
+
+
+class TestGF2Properties:
+    @given(polys, polys)
+    def test_addition_is_commutative_and_self_inverse(self, a, b):
+        assert gf2_add(a, b) == gf2_add(b, a)
+        assert gf2_add(gf2_add(a, b), b) == a
+
+    @given(polys, polys)
+    def test_multiplication_commutes(self, a, b):
+        assert gf2_mul(a, b) == gf2_mul(b, a)
+
+    @given(polys, polys, polys)
+    def test_multiplication_distributes_over_addition(self, a, b, c):
+        assert gf2_mul(a, gf2_add(b, c)) == gf2_add(gf2_mul(a, b), gf2_mul(a, c))
+
+    @given(polys, nonzero_polys)
+    def test_division_identity(self, a, b):
+        quotient, remainder = gf2_divmod(a, b)
+        assert gf2_add(gf2_mul(quotient, b), remainder) == a
+        assert degree(remainder) < degree(b)
+
+    @given(polys, polys, nonzero_polys)
+    def test_mod_is_additive(self, a, b, p):
+        assert gf2_mod(gf2_add(a, b), p) == gf2_add(gf2_mod(a, p), gf2_mod(b, p))
+
+
+class TestIndexFunctionProperties:
+    @given(blocks, st.sampled_from([16, 64, 128, 256]))
+    def test_bit_select_in_range(self, block, sets):
+        assert 0 <= BitSelectIndexing(sets).index(block) < sets
+
+    @given(blocks, st.sampled_from([16, 64, 128, 256]), st.integers(0, 3))
+    def test_xor_fold_in_range(self, block, sets, way):
+        assert 0 <= XorFoldIndexing(sets).index(block, way) < sets
+
+    @settings(deadline=None)
+    @given(blocks, st.sampled_from([64, 128, 256]), st.integers(0, 1))
+    def test_ipoly_in_range(self, block, sets, way):
+        fn = IPolyIndexing(sets, ways=2, skewed=True, address_bits=19)
+        assert 0 <= fn.index(block, way) < sets
+
+    @given(blocks, blocks)
+    def test_ipoly_is_linear_over_gf2(self, a, b):
+        fn = IPolyIndexing(128, address_bits=19)
+        assert fn.index(a ^ b) == fn.index(a) ^ fn.index(b)
+
+    @given(blocks)
+    def test_ipoly_deterministic(self, block):
+        fn = IPolyIndexing(128, address_bits=19)
+        assert fn.index(block) == fn.index(block)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([32, 64, 128, 256]))
+    def test_derived_matrix_agrees_with_function_everywhere_sampled(self, sets):
+        fn = IPolyIndexing(sets, address_bits=16)
+        matrix = derive_xor_matrix(fn)
+        for block in range(0, 1 << 16, 997):
+            assert matrix.apply(block) == fn.index(block)
+
+
+class TestCacheProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 20), min_size=1, max_size=300))
+    def test_immediate_rereference_always_hits(self, addresses):
+        cache = SetAssociativeCache(1024, 32, 2)
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address).hit
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 16), min_size=1, max_size=300))
+    def test_resident_blocks_never_exceed_capacity(self, addresses):
+        cache = SetAssociativeCache(512, 32, 2,
+                                    index_function=IPolyIndexing(8, ways=2,
+                                                                 skewed=True,
+                                                                 address_bits=12))
+        for address in addresses:
+            cache.access(address)
+            assert len(cache.resident_blocks()) <= cache.num_blocks
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 18), min_size=1, max_size=300))
+    def test_stats_are_consistent(self, addresses):
+        cache = SetAssociativeCache(1024, 32, 2, classify_misses=True)
+        for i, address in enumerate(addresses):
+            cache.access(address, is_write=(i % 5 == 0))
+        stats = cache.stats
+        assert stats.accesses == len(addresses)
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.loads + stats.stores == stats.accesses
+        assert sum(stats.miss_kinds.values()) == stats.misses
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 16), min_size=1, max_size=200))
+    def test_fully_associative_never_has_conflict_misses(self, addresses):
+        cache = FullyAssociativeCache(512, 32, classify_misses=True)
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.miss_kinds[MissKind.CONFLICT] == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 16), min_size=1, max_size=200),
+           st.sampled_from(["a2", "a2-Hx-Sk", "a2-Hp-Sk"]))
+    def test_miss_ratio_never_below_fully_associative_minus_margin(
+            self, addresses, scheme):
+        """Full associativity with LRU is at least as good as any placement
+        function on these short traces (no Belady anomalies at same capacity
+        arise in practice here, small tolerance allowed)."""
+        from repro.core.index import make_index_function
+        fn = make_index_function(scheme, num_sets=16, ways=2, address_bits=14)
+        cache = SetAssociativeCache(1024, 32, 2, index_function=fn)
+        full = FullyAssociativeCache(1024, 32)
+        for address in addresses:
+            cache.access(address)
+            full.access(address)
+        assert cache.stats.misses >= full.stats.misses - 2
+
+
+class TestPredictorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2 ** 20), st.integers(1, 4096), st.integers(4, 40))
+    def test_constant_stride_is_learned(self, base, stride, count):
+        predictor = StrideAddressPredictor(entries=64)
+        pc = 0x1000
+        for i in range(count):
+            predictor.update(pc, base + stride * i)
+        prediction = predictor.predict(pc)
+        assert prediction.usable
+        assert prediction.predicted_address == base + stride * count
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 2 ** 24), min_size=1, max_size=100))
+    def test_accuracy_and_coverage_bounded(self, addresses):
+        predictor = StrideAddressPredictor(entries=16)
+        for i, address in enumerate(addresses):
+            predictor.predict(0x40 + (i % 8) * 4)
+            predictor.update(0x40 + (i % 8) * 4, address)
+        assert 0.0 <= predictor.coverage <= 1.0
+        assert 0.0 <= predictor.accuracy <= 1.0
+
+
+class TestResourceProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=200),
+           st.integers(1, 8))
+    def test_throughput_limiter_never_exceeds_width(self, deltas, width):
+        limiter = ThroughputLimiter(width)
+        cycle = 0
+        granted = []
+        for delta in deltas:
+            cycle += delta
+            granted.append(limiter.record(cycle))
+        for value in set(granted):
+            assert granted.count(value) <= width
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=200),
+           st.integers(1, 16))
+    def test_window_resource_grant_never_before_request(self, deltas, capacity):
+        window = WindowResource(capacity)
+        request = 0
+        for delta in deltas:
+            request += delta
+            expected = window.earliest_acquire(request)
+            grant = window.acquire(request, release_cycle=expected + 10)
+            assert grant == expected
+            assert grant >= request

@@ -1,0 +1,145 @@
+"""Unit tests for cache blocks and replacement policies."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    TreePLRUReplacement,
+    make_replacement_policy,
+)
+
+
+class TestCacheBlock:
+    def test_starts_invalid(self):
+        frame = CacheBlock()
+        assert not frame.valid
+        assert not frame.dirty
+
+    def test_fill_and_touch(self):
+        frame = CacheBlock()
+        frame.fill(42, now=3)
+        assert frame.valid
+        assert frame.block_number == 42
+        assert frame.inserted_at == 3
+        frame.touch(now=9)
+        assert frame.last_used_at == 9
+        assert frame.inserted_at == 3
+
+    def test_invalidate(self):
+        frame = CacheBlock()
+        frame.fill(7, now=1, dirty=True)
+        frame.invalidate()
+        assert not frame.valid
+        assert not frame.dirty
+
+    def test_touch_invalid_raises(self):
+        with pytest.raises(ValueError):
+            CacheBlock().touch(1)
+
+    def test_fill_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            CacheBlock().fill(-1, now=0)
+
+
+def _candidates(*specs):
+    """Build (way, set_index, frame) candidates from (inserted, last_used) pairs."""
+    result = []
+    for way, (inserted, last_used) in enumerate(specs):
+        frame = CacheBlock()
+        frame.fill(way + 100, now=inserted)
+        frame.last_used_at = last_used
+        result.append((way, 0, frame))
+    return result
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        policy = LRUReplacement()
+        candidates = _candidates((1, 10), (2, 5), (3, 20))
+        assert policy.choose_victim(candidates) == (1, 0)
+
+    def test_tie_broken_by_way(self):
+        policy = LRUReplacement()
+        candidates = _candidates((1, 5), (2, 5))
+        assert policy.choose_victim(candidates) == (0, 0)
+
+
+class TestFIFO:
+    def test_evicts_oldest_insertion(self):
+        policy = FIFOReplacement()
+        candidates = _candidates((5, 100), (1, 200), (9, 1))
+        assert policy.choose_victim(candidates) == (1, 0)
+
+
+class TestRandom:
+    def test_deterministic_for_fixed_seed(self):
+        a = RandomReplacement(seed=99)
+        b = RandomReplacement(seed=99)
+        candidates = _candidates((1, 1), (2, 2), (3, 3), (4, 4))
+        picks_a = [a.choose_victim(candidates) for _ in range(20)]
+        picks_b = [b.choose_victim(candidates) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_picks_are_valid_candidates(self):
+        policy = RandomReplacement()
+        candidates = _candidates((1, 1), (2, 2), (3, 3))
+        for _ in range(50):
+            way, set_index = policy.choose_victim(candidates)
+            assert way in (0, 1, 2)
+            assert set_index == 0
+
+    def test_reset_restores_sequence(self):
+        policy = RandomReplacement(seed=7)
+        candidates = _candidates((1, 1), (2, 2), (3, 3), (4, 4))
+        first = [policy.choose_victim(candidates) for _ in range(10)]
+        policy.reset()
+        second = [policy.choose_victim(candidates) for _ in range(10)]
+        assert first == second
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RandomReplacement(seed=0)
+
+
+class TestTreePLRU:
+    def test_falls_back_to_lru_for_skewed_candidates(self):
+        policy = TreePLRUReplacement()
+        frame_a, frame_b = CacheBlock(), CacheBlock()
+        frame_a.fill(1, now=1)
+        frame_b.fill(2, now=2)
+        # Different set indices -> skewed cache shape.
+        assert policy.choose_victim([(0, 3, frame_a), (1, 9, frame_b)]) == (0, 3)
+
+    def test_victim_rotates_away_from_touched_way(self):
+        policy = TreePLRUReplacement()
+        frames = _candidates((1, 1), (2, 2), (3, 3), (4, 4))
+        way, _ = policy.choose_victim(frames)
+        # Touch the chosen way: the next victim must differ.
+        policy.on_access(way, 0, frames[way][2], now=100)
+        next_way, _ = policy.choose_victim(frames)
+        assert next_way != way
+
+    def test_reset_clears_state(self):
+        policy = TreePLRUReplacement()
+        frames = _candidates((1, 1), (2, 2))
+        policy.choose_victim(frames)
+        policy.reset()
+        assert policy._bits == {}
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name, cls", [
+        ("lru", LRUReplacement),
+        ("fifo", FIFOReplacement),
+        ("random", RandomReplacement),
+        ("plru", TreePLRUReplacement),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_replacement_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_replacement_policy("mru")

@@ -1,0 +1,203 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache, WritePolicy
+from repro.cache.stats import MissKind
+from repro.core.index import IPolyIndexing, XorFoldIndexing
+
+
+def small_cache(**kwargs):
+    defaults = dict(size_bytes=1024, block_size=32, ways=2)
+    defaults.update(kwargs)
+    return SetAssociativeCache(**defaults)
+
+
+class TestGeometry:
+    def test_derived_quantities(self):
+        cache = SetAssociativeCache(8 * 1024, 32, 2)
+        assert cache.num_sets == 128
+        assert cache.num_blocks == 256
+        assert cache.block_size == 32
+        assert cache.ways == 2
+
+    def test_block_number_of(self):
+        cache = small_cache()
+        assert cache.block_number_of(0) == 0
+        assert cache.block_number_of(31) == 0
+        assert cache.block_number_of(32) == 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 32, 2)        # not a multiple
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, 48, 2)        # block not power of two
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, 32, 0)        # zero ways
+        with pytest.raises(ValueError):
+            SetAssociativeCache(96, 32, 2, index_function=None)  # 1.5 sets
+
+    def test_index_function_set_count_must_match(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, 32, 2, index_function=IPolyIndexing(64))
+
+    def test_unknown_write_policy(self):
+        with pytest.raises(ValueError):
+            small_cache(write_policy="write-around")
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        assert not cache.access(0x100).hit
+        assert cache.access(0x100).hit
+        assert cache.access(0x11F).hit          # same 32-byte block
+
+    def test_distinct_blocks_tracked(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(64)
+        assert cache.contains(0)
+        assert cache.contains(64)
+        assert not cache.contains(4096)
+
+    def test_lru_eviction_within_set(self):
+        # 1 KB, 2-way, 32 B blocks -> 16 sets; blocks 0, 16, 32 share set 0.
+        cache = small_cache()
+        cache.access(0 * 32)
+        cache.access(16 * 32)
+        cache.access(0 * 32)                    # refresh block 0
+        result = cache.access(32 * 32)          # evicts block 16 (LRU)
+        assert result.evicted_block == 16
+        assert cache.contains_block(0)
+        assert not cache.contains_block(16)
+
+    def test_eviction_statistics(self):
+        cache = small_cache()
+        for i in range(3):
+            cache.access(i * 16 * 32)
+        assert cache.stats.evictions == 1
+
+    def test_associativity_avoids_immediate_conflict(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(16 * 32)                   # same set, other way
+        assert cache.contains_block(0)
+        assert cache.contains_block(16)
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.contains(0)
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x40)
+        assert cache.invalidate_address(0x40)
+        assert not cache.contains(0x40)
+        assert not cache.invalidate_address(0x40)
+        assert cache.stats.invalidations == 1
+
+    def test_fill_block_does_not_count_access(self):
+        cache = small_cache()
+        cache.fill_block(5)
+        assert cache.stats.accesses == 0
+        assert cache.contains_block(5)
+
+    def test_resident_blocks(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(64)
+        assert sorted(cache.resident_blocks()) == [0, 2]
+
+
+class TestWritePolicies:
+    def test_write_through_no_allocate_skips_allocation(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+        result = cache.access(0x200, is_write=True)
+        assert not result.hit
+        assert result.way is None
+        assert not cache.contains(0x200)
+        assert cache.stats.store_misses == 1
+
+    def test_write_back_allocates_and_marks_dirty(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        cache.access(0x200, is_write=True)
+        assert cache.contains(0x200)
+        # Force eviction of the dirty block: fill its set with newer blocks.
+        block = cache.block_number_of(0x200)
+        set_index = cache.index_function.index(block)
+        victims = 0
+        candidate = block + 16
+        while victims < 2:
+            if cache.index_function.index(candidate) == set_index:
+                cache.access(candidate * 32)
+                victims += 1
+            candidate += 16
+        assert cache.stats.writebacks >= 1
+
+    def test_write_through_store_hit_not_dirty(self):
+        cache = small_cache(write_policy=WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+        cache.access(0x80)                       # load fills the line
+        cache.access(0x80, is_write=True)        # store hit
+        assert cache.stats.store_misses == 0
+        assert cache.stats.writebacks == 0
+
+
+class TestMissClassification:
+    def test_conflict_misses_detected(self):
+        cache = small_cache(classify_misses=True)
+        # Three blocks in the same set of a 2-way cache, accessed repeatedly.
+        blocks = [0, 16, 32]
+        for _ in range(4):
+            for b in blocks:
+                cache.access(b * 32)
+        kinds = cache.stats.miss_kinds
+        assert kinds[MissKind.COMPULSORY] == 3
+        assert kinds[MissKind.CONFLICT] > 0
+        assert kinds[MissKind.CAPACITY] == 0
+
+    def test_capacity_misses_detected(self):
+        cache = small_cache(classify_misses=True)
+        blocks = range(0, 64)                    # 64 blocks > 32-block capacity
+        for _ in range(2):
+            for b in blocks:
+                cache.access(b * 32)
+        assert cache.stats.miss_kinds[MissKind.CAPACITY] > 0
+
+
+class TestSkewedOperation:
+    def test_skewed_cache_uses_different_sets_per_way(self):
+        fn = IPolyIndexing(16, ways=2, skewed=True, address_bits=14)
+        cache = SetAssociativeCache(1024, 32, 2, index_function=fn)
+        # Find a block whose two way-indices differ, fill both ways.
+        block = next(b for b in range(200) if fn.index(b, 0) != fn.index(b, 1))
+        cache.access_block(block)
+        assert cache.contains_block(block)
+
+    def test_conflicting_blocks_spread_by_skewed_xor(self):
+        """Blocks that collide under bit selection coexist under skewing."""
+        conventional = small_cache()
+        skewed = SetAssociativeCache(
+            1024, 32, 2, index_function=XorFoldIndexing(16, skewed=True))
+        blocks = [i * 16 for i in range(8)]      # all map to set 0 conventionally
+        for _ in range(4):
+            for b in blocks:
+                conventional.access_block(b)
+                skewed.access_block(b)
+        assert skewed.stats.miss_ratio < conventional.stats.miss_ratio
+
+    def test_ipoly_cache_defeats_power_of_two_stride(self):
+        """The headline behaviour: 2^k strides thrash a2 but not a2-Hp."""
+        conventional = SetAssociativeCache(8 * 1024, 32, 2)
+        ipoly = SetAssociativeCache(
+            8 * 1024, 32, 2,
+            index_function=IPolyIndexing(128, ways=2, skewed=True, address_bits=19))
+        stride_bytes = 4096
+        for _ in range(4):
+            for i in range(64):
+                conventional.access(i * stride_bytes)
+                ipoly.access(i * stride_bytes)
+        assert conventional.stats.miss_ratio > 0.9
+        assert ipoly.stats.miss_ratio < 0.3

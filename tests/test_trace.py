@@ -1,0 +1,195 @@
+"""Unit tests for trace records, generators and trace I/O."""
+
+import pytest
+
+from repro.trace.generators import (
+    interleave,
+    matrix_traversal,
+    multi_array_sweep,
+    pointer_chase,
+    random_accesses,
+    strided_vector,
+    tiled_matrix_multiply,
+)
+from repro.trace.record import MemoryAccess, materialise, replay, trace_length
+from repro.trace.trace_io import (
+    read_binary_trace,
+    read_text_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+
+class TestMemoryAccess:
+    def test_defaults(self):
+        access = MemoryAccess(address=0x100)
+        assert not access.is_write
+        assert access.size == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(address=-1)
+        with pytest.raises(ValueError):
+            MemoryAccess(address=0, size=0)
+        with pytest.raises(ValueError):
+            MemoryAccess(address=0, pc=-4)
+
+    def test_helpers(self):
+        trace = [MemoryAccess(i * 8) for i in range(10)]
+        assert trace_length(iter(trace)) == 10
+        assert materialise(iter(trace)) == trace
+
+
+class TestStridedVector:
+    def test_length(self):
+        trace = list(strided_vector(stride=3, elements=64, sweeps=4))
+        assert len(trace) == 256
+
+    def test_addresses_follow_stride(self):
+        trace = list(strided_vector(stride=5, elements=4, element_size=8, sweeps=1))
+        assert [a.address for a in trace] == [0, 40, 80, 120]
+
+    def test_repeats_identically_each_sweep(self):
+        trace = list(strided_vector(stride=2, elements=8, sweeps=2))
+        assert [a.address for a in trace[:8]] == [a.address for a in trace[8:]]
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            list(strided_vector(stride=0))
+
+
+class TestMultiArraySweep:
+    def test_lock_step_interleaving(self):
+        trace = list(multi_array_sweep(num_arrays=3, elements=2, sweeps=1,
+                                       array_spacing=1 << 16))
+        addresses = [a.address for a in trace]
+        assert addresses[0] % (1 << 16) == addresses[3] % (1 << 16) - 8
+
+    def test_write_last_array(self):
+        trace = list(multi_array_sweep(num_arrays=2, elements=4, sweeps=1,
+                                       write_last=True))
+        writes = [a for a in trace if a.is_write]
+        assert len(writes) == 4
+        assert all(a.address >= 64 * 1024 for a in writes)
+
+
+class TestMatrixTraversal:
+    def test_row_major_is_sequential(self):
+        trace = list(matrix_traversal(2, 4, element_size=8, order="row"))
+        assert [a.address for a in trace] == [0, 8, 16, 24, 32, 40, 48, 56]
+
+    def test_column_major_strides_by_row(self):
+        trace = list(matrix_traversal(4, 4, element_size=8, order="column"))
+        assert trace[1].address - trace[0].address == 32
+
+    def test_length(self):
+        assert trace_length(matrix_traversal(8, 8, passes=2)) == 128
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            list(matrix_traversal(2, 2, order="diagonal"))
+
+
+class TestTiledMatrixMultiply:
+    def test_touches_all_three_matrices(self):
+        n, e = 8, 8
+        trace = list(tiled_matrix_multiply(n=n, tile=4, element_size=e))
+        bases = {a.address // (n * n * e) for a in trace}
+        assert bases == {0, 1, 2}
+
+    def test_has_stores_to_c(self):
+        trace = list(tiled_matrix_multiply(n=4, tile=2))
+        assert any(a.is_write for a in trace)
+
+    def test_tile_larger_than_n_is_clamped(self):
+        assert trace_length(tiled_matrix_multiply(n=4, tile=64)) > 0
+
+
+class TestPointerChase:
+    def test_deterministic(self):
+        a = [x.address for x in pointer_chase(nodes=64, hops=100, seed=3)]
+        b = [x.address for x in pointer_chase(nodes=64, hops=100, seed=3)]
+        assert a == b
+
+    def test_visits_whole_cycle(self):
+        nodes = 32
+        trace = list(pointer_chase(nodes=nodes, node_size=64, hops=nodes))
+        assert len({a.address for a in trace}) == nodes
+
+    def test_addresses_aligned_to_node_size(self):
+        assert all(a.address % 64 == 0
+                   for a in pointer_chase(nodes=16, node_size=64, hops=50))
+
+
+class TestRandomAccesses:
+    def test_deterministic_and_bounded(self):
+        a = list(random_accesses(200, footprint_bytes=4096, seed=5))
+        b = list(random_accesses(200, footprint_bytes=4096, seed=5))
+        assert [x.address for x in a] == [x.address for x in b]
+        assert all(x.address < 4096 for x in a)
+
+    def test_write_fraction_respected_roughly(self):
+        trace = list(random_accesses(2000, footprint_bytes=1 << 16,
+                                     write_fraction=0.5, seed=11))
+        writes = sum(1 for a in trace if a.is_write)
+        assert 0.4 < writes / len(trace) < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(random_accesses(10, footprint_bytes=4, element_size=8))
+        with pytest.raises(ValueError):
+            list(random_accesses(10, footprint_bytes=64, write_fraction=1.5))
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = (MemoryAccess(i) for i in (0, 1))
+        b = (MemoryAccess(i) for i in (100, 101))
+        merged = [x.address for x in interleave([a, b])]
+        assert merged == [0, 100, 1, 101]
+
+    def test_uneven_lengths(self):
+        a = (MemoryAccess(i) for i in (0,))
+        b = (MemoryAccess(i) for i in (100, 101, 102))
+        merged = [x.address for x in interleave([a, b])]
+        assert merged == [0, 100, 101, 102]
+
+    def test_chunked(self):
+        a = (MemoryAccess(i) for i in range(4))
+        b = (MemoryAccess(i + 100) for i in range(4))
+        merged = [x.address for x in interleave([a, b], chunk=2)]
+        assert merged[:4] == [0, 1, 100, 101]
+
+
+class TestTraceIO:
+    def test_text_round_trip(self, tmp_path):
+        trace = [MemoryAccess(8 * i, is_write=(i % 3 == 0), pc=0x400 + i, size=4)
+                 for i in range(25)]
+        path = tmp_path / "trace.txt"
+        assert write_text_trace(path, trace) == 25
+        assert list(read_text_trace(path)) == trace
+
+    def test_binary_round_trip(self, tmp_path):
+        trace = [MemoryAccess(1 << 40, is_write=True, pc=2 ** 33, size=16)]
+        path = tmp_path / "trace.bin"
+        assert write_binary_trace(path, trace) == 1
+        assert list(read_binary_trace(path)) == trace
+
+    def test_text_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("R 0x10 0x0\n")          # missing size field
+        with pytest.raises(ValueError):
+            list(read_text_trace(path))
+
+    def test_binary_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(ValueError):
+            list(read_binary_trace(path))
+
+    def test_replay_drives_a_cache(self, tmp_path):
+        from repro.cache import SetAssociativeCache
+        cache = SetAssociativeCache(1024, 32, 2)
+        replay(iter([MemoryAccess(0), MemoryAccess(0)]), cache)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1

@@ -1,0 +1,113 @@
+"""Tests for the synthetic Spec95-like trace workload models."""
+
+import pytest
+
+from repro.cache import FullyAssociativeCache, SetAssociativeCache
+from repro.core import make_index_function
+from repro.trace.workloads import (
+    FP_PROGRAMS,
+    HIGH_CONFLICT_PROGRAMS,
+    INTEGER_PROGRAMS,
+    LOW_CONFLICT_PROGRAMS,
+    WORKLOADS,
+    WorkloadSpec,
+    build_trace,
+    workload_names,
+)
+
+
+def miss_ratio(name, size_bytes, scheme, accesses=25_000):
+    sets = size_bytes // (32 * 2)
+    fn = make_index_function(scheme, num_sets=sets, ways=2, address_bits=19)
+    cache = SetAssociativeCache(size_bytes, 32, 2, index_function=fn)
+    for access in build_trace(name, length=accesses):
+        cache.access(access.address, is_write=access.is_write)
+    return cache.stats.load_miss_ratio
+
+
+class TestCatalogue:
+    def test_eighteen_programs(self):
+        assert len(WORKLOADS) == 18
+        assert len(workload_names()) == 18
+
+    def test_partition_into_groups(self):
+        assert set(HIGH_CONFLICT_PROGRAMS) == {"tomcatv", "swim", "wave5"}
+        assert len(LOW_CONFLICT_PROGRAMS) == 15
+        assert set(INTEGER_PROGRAMS) | set(FP_PROGRAMS) == set(WORKLOADS)
+        assert not set(INTEGER_PROGRAMS) & set(FP_PROGRAMS)
+        assert len(INTEGER_PROGRAMS) == 8 and len(FP_PROGRAMS) == 10
+
+    def test_high_conflict_programs_have_conflict_components(self):
+        for name in HIGH_CONFLICT_PROGRAMS:
+            assert WORKLOADS[name].conflict_fraction > 0.2
+
+    def test_low_conflict_programs_have_small_conflict_components(self):
+        for name in LOW_CONFLICT_PROGRAMS:
+            assert WORKLOADS[name].conflict_fraction < 0.05
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", conflict_fraction=0.8, stream_fraction=0.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", conflict_fraction=0.1, stream_fraction=0.1,
+                         conflict_arrays=2)
+
+
+class TestTraceGeneration:
+    def test_deterministic(self):
+        a = [(x.address, x.is_write) for x in build_trace("swim", length=500)]
+        b = [(x.address, x.is_write) for x in build_trace("swim", length=500)]
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = [x.address for x in build_trace("gcc", length=500, seed=1)]
+        b = [x.address for x in build_trace("gcc", length=500, seed=2)]
+        assert a != b
+
+    def test_length_respected(self):
+        assert sum(1 for _ in build_trace("li", length=321)) == 321
+
+    def test_unknown_program(self):
+        with pytest.raises(ValueError):
+            list(build_trace("doom", length=10))
+
+    def test_contains_writes(self):
+        assert any(a.is_write for a in build_trace("compress", length=2000))
+
+
+class TestBehaviouralShape:
+    """The properties the Table 2 reproduction depends on."""
+
+    @pytest.mark.parametrize("name", HIGH_CONFLICT_PROGRAMS)
+    def test_ipoly_removes_most_misses_of_bad_programs(self, name):
+        conventional = miss_ratio(name, 8 * 1024, "a2")
+        ipoly = miss_ratio(name, 8 * 1024, "a2-Hp-Sk")
+        assert conventional > 0.35
+        assert ipoly < conventional / 2
+
+    @pytest.mark.parametrize("name", ["gcc", "compress", "hydro2d", "fpppp"])
+    def test_indexing_insensitive_for_good_programs(self, name):
+        conventional = miss_ratio(name, 8 * 1024, "a2")
+        ipoly = miss_ratio(name, 8 * 1024, "a2-Hp-Sk")
+        assert abs(conventional - ipoly) < 0.05
+
+    @pytest.mark.parametrize("name", ["gcc", "li", "swim"])
+    def test_doubling_the_cache_helps(self, name):
+        small = miss_ratio(name, 8 * 1024, "a2")
+        large = miss_ratio(name, 16 * 1024, "a2")
+        assert large < small
+
+    def test_ipoly_8k_beats_conventional_16k_for_bad_programs(self):
+        """The paper's headline: I-Poly at 8 KB outperforms doubling the cache."""
+        for name in HIGH_CONFLICT_PROGRAMS:
+            assert miss_ratio(name, 8 * 1024, "a2-Hp-Sk") < miss_ratio(
+                name, 16 * 1024, "a2")
+
+    def test_ipoly_close_to_fully_associative(self):
+        """Section 2.1: the I-Poly cache approaches full associativity."""
+        for name in ["swim", "gcc"]:
+            full = FullyAssociativeCache(8 * 1024, 32)
+            for access in build_trace(name, length=25_000):
+                full.access(access.address, is_write=access.is_write)
+            ipoly = miss_ratio(name, 8 * 1024, "a2-Hp-Sk")
+            assert ipoly <= full.stats.load_miss_ratio + 0.06

@@ -1,0 +1,131 @@
+"""Unit tests for the virtual-real two-level hierarchy (Wang et al. style)."""
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache, WritePolicy
+from repro.cache.virtual_real import VirtualRealHierarchy
+from repro.core.index import IPolyIndexing
+from repro.memory.paging import PageTable
+
+
+def build(l1_size=512, l2_size=2048, block=32, page_size=4096,
+          allocation="scatter"):
+    page_table = PageTable(page_size=page_size, allocation=allocation, seed=7)
+    l1 = SetAssociativeCache(
+        l1_size, block, 2,
+        index_function=IPolyIndexing(l1_size // (block * 2), ways=2,
+                                     skewed=True, address_bits=16))
+    l2 = SetAssociativeCache(l2_size, block, 2,
+                             write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    return VirtualRealHierarchy(l1, l2, translate=page_table.translate), page_table
+
+
+class TestBasicFlow:
+    def test_miss_then_hit(self):
+        hierarchy, _ = build()
+        first = hierarchy.access(0x1000)
+        assert not first.l1_hit
+        second = hierarchy.access(0x1000)
+        assert second.l1_hit
+
+    def test_l1_indexed_by_virtual_l2_by_physical(self):
+        hierarchy, page_table = build()
+        virtual = 0x4000
+        hierarchy.access(virtual)
+        physical = page_table.translate(virtual)
+        assert hierarchy.l1.contains_block(virtual // 32)
+        assert hierarchy.l2.contains_block(physical // 32)
+
+    def test_memory_access_flag(self):
+        hierarchy, _ = build()
+        assert hierarchy.access(0x9000).memory_access
+        assert not hierarchy.access(0x9000).memory_access
+
+
+class TestAliases:
+    def test_at_most_one_alias_resident(self):
+        """Two virtual pages mapped to the same frame may not both live in L1."""
+        page_table = PageTable(page_size=4096, allocation="sequential")
+        # Force aliasing: map virtual pages 0 and 1 to the same frame.
+        page_table._mapping[0] = 0
+        page_table._mapping[1] = 0
+        l1 = SetAssociativeCache(512, 32, 2)
+        l2 = SetAssociativeCache(2048, 32, 2,
+                                 write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        hierarchy = VirtualRealHierarchy(l1, l2, translate=page_table.translate)
+
+        hierarchy.access(0x0000)            # alias A
+        result = hierarchy.access(0x1000)   # alias B -> same physical line
+        assert result.alias_invalidation
+        assert not hierarchy.l1.contains_block(0)          # alias A gone
+        assert hierarchy.alias_invalidations == 1
+
+    def test_interleaved_aliases_increase_l1_traffic_not_l2(self):
+        page_table = PageTable(page_size=4096, allocation="sequential")
+        page_table._mapping[0] = 0
+        page_table._mapping[1] = 0
+        l1 = SetAssociativeCache(512, 32, 2)
+        l2 = SetAssociativeCache(2048, 32, 2,
+                                 write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        hierarchy = VirtualRealHierarchy(l1, l2, translate=page_table.translate)
+        for _ in range(5):
+            hierarchy.access(0x0000)
+            hierarchy.access(0x1000)
+        # L2 keeps the single physical copy throughout: one miss only.
+        assert hierarchy.l2.stats.misses == 1
+        assert hierarchy.alias_invalidations >= 9
+
+
+class TestInclusionAndHoles:
+    def test_inclusion_maintained(self):
+        hierarchy, _ = build(l1_size=512, l2_size=1024)
+        for i in range(300):
+            hierarchy.access((i * 53 % 197) * 32)
+        assert hierarchy.check_inclusion()
+
+    def test_holes_counted_when_l2_evicts_live_l1_lines(self):
+        hierarchy, _ = build(l1_size=512, l2_size=1024)
+        for _ in range(4):
+            for i in range(64):
+                hierarchy.access(i * 32)
+        assert hierarchy.l2.stats.misses > 0
+        assert 0.0 <= hierarchy.hole_rate_per_l2_miss <= 1.0
+        assert hierarchy.check_inclusion()
+
+    def test_hole_rate_small_for_large_l2(self):
+        """With a large L2:L1 ratio the hole rate should be tiny (Section 3.3)."""
+        hierarchy, _ = build(l1_size=512, l2_size=16 * 1024)
+        for i in range(2000):
+            hierarchy.access((i * 97) % 4096 * 32)
+        assert hierarchy.hole_rate_per_l2_miss <= 0.1
+
+    def test_external_invalidation(self):
+        hierarchy, page_table = build()
+        virtual = 0x2000
+        hierarchy.access(virtual)
+        physical = page_table.translate(virtual)
+        assert hierarchy.external_invalidate(physical)
+        assert not hierarchy.l1.contains_block(virtual // 32)
+        assert not hierarchy.l2.contains_block(physical // 32)
+
+    def test_flush_clears_maps(self):
+        hierarchy, _ = build()
+        hierarchy.access(0x3000)
+        hierarchy.flush()
+        assert hierarchy.l1.resident_blocks() == []
+        assert hierarchy.l2.resident_blocks() == []
+        assert hierarchy.check_inclusion()
+
+
+class TestValidation:
+    def test_block_sizes_must_match(self):
+        l1 = SetAssociativeCache(512, 32, 2)
+        l2 = SetAssociativeCache(2048, 64, 2)
+        with pytest.raises(ValueError):
+            VirtualRealHierarchy(l1, l2, translate=lambda a: a)
+
+    def test_l2_not_smaller_than_l1(self):
+        l1 = SetAssociativeCache(2048, 32, 2)
+        l2 = SetAssociativeCache(512, 32, 2)
+        with pytest.raises(ValueError):
+            VirtualRealHierarchy(l1, l2, translate=lambda a: a)
