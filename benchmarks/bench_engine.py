@@ -1,0 +1,170 @@
+"""E-ENG: scalar-reference versus vectorized-engine throughput.
+
+Drives the same 1M-access strided trace through the scalar
+:class:`~repro.cache.set_assoc.SetAssociativeCache` and through the batch
+engine for each of the paper's four index-function families, reporting
+accesses/second for both paths.  Besides tracking the speedup (the engine
+must stay >= 10x on every family), each benchmark asserts *bit-exact*
+:class:`~repro.cache.stats.CacheStats` agreement, so the performance claim
+can never drift away from correctness.
+
+Runs under pytest-benchmark::
+
+    pytest benchmarks/bench_engine.py --benchmark-only
+
+or standalone, printing a comparison table::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+``REPRO_BENCH_ENGINE_ACCESSES`` overrides the trace length (default 1M).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.index import make_index_function
+from repro.engine import AddressBatch, BatchSetAssociativeCache
+from repro.experiments.config import PAPER_HASH_BITS, PAPER_L1_8KB
+from repro.trace.batching import strided_vector_arrays
+
+#: The four families of Figure 1 / Table 2.
+SCHEMES = ["a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"]
+
+#: Strided workload shape: 512 elements spaced 67 elements apart sweeps a
+#: footprint comparable to the 8 KB cache, so every family sees a mix of
+#: hits, conflict misses and evictions rather than a degenerate all-hit loop.
+ELEMENTS = 512
+STRIDE = 67
+
+#: Minimum vectorized-over-scalar throughput ratio the engine must sustain.
+REQUIRED_SPEEDUP = 10.0
+
+#: Below this trace length the constant batch-setup overhead dominates and
+#: wall-clock ratios are noise, so the speedup assertion is skipped (the
+#: bit-exactness assertion always runs).
+MIN_ACCESSES_FOR_SPEEDUP_CHECK = 200_000
+
+
+def _env_int(name, default):
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_ENGINE_ACCESSES = _env_int("REPRO_BENCH_ENGINE_ACCESSES", 1_000_000)
+
+
+def _build_trace(accesses):
+    sweeps = max(1, accesses // ELEMENTS)
+    addresses, writes = strided_vector_arrays(STRIDE, elements=ELEMENTS,
+                                              sweeps=sweeps)
+    return AddressBatch.from_arrays(addresses, writes)
+
+
+def _make_caches(scheme):
+    geometry = PAPER_L1_8KB
+
+    def index_fn():
+        return make_index_function(scheme, num_sets=geometry.num_sets,
+                                   ways=geometry.ways,
+                                   address_bits=PAPER_HASH_BITS)
+
+    scalar = SetAssociativeCache(geometry.size_bytes, geometry.block_size,
+                                 geometry.ways, index_function=index_fn())
+    batch = BatchSetAssociativeCache(geometry.size_bytes, geometry.block_size,
+                                     geometry.ways, index_function=index_fn())
+    return scalar, batch
+
+
+def _stats_tuple(stats):
+    return (stats.loads, stats.stores, stats.load_misses, stats.store_misses,
+            stats.evictions, stats.writebacks, tuple(sorted(stats.miss_kinds.items())))
+
+
+def _run_scalar(scalar, batch_trace):
+    access = scalar.access
+    for address in batch_trace.addresses.tolist():
+        access(address, False)
+
+
+def compare_engines(scheme, accesses=BENCH_ENGINE_ACCESSES):
+    """Time both engines on the same trace; returns a result dict."""
+    trace = _build_trace(accesses)
+    scalar, batch = _make_caches(scheme)
+
+    start = time.perf_counter()
+    _run_scalar(scalar, trace)
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch.run(trace)
+    vector_seconds = time.perf_counter() - start
+
+    assert _stats_tuple(scalar.stats) == _stats_tuple(batch.stats), (
+        f"CacheStats diverged between engines for {scheme}")
+    n = len(trace)
+    return {
+        "scheme": scheme,
+        "accesses": n,
+        "scalar_aps": n / scalar_seconds,
+        "vector_aps": n / vector_seconds,
+        "speedup": scalar_seconds / vector_seconds,
+        "miss_ratio": scalar.stats.miss_ratio,
+    }
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_engine_throughput(benchmark, scheme):
+    trace = _build_trace(BENCH_ENGINE_ACCESSES)
+    scalar, batch = _make_caches(scheme)
+
+    start = time.perf_counter()
+    _run_scalar(scalar, trace)
+    scalar_seconds = time.perf_counter() - start
+
+    def _vector_run():
+        _, fresh = _make_caches(scheme)
+        fresh.run(trace)
+        return fresh
+
+    fresh = benchmark.pedantic(_vector_run, rounds=3, iterations=1)
+    vector_seconds = benchmark.stats.stats.min
+
+    assert _stats_tuple(scalar.stats) == _stats_tuple(fresh.stats), (
+        f"CacheStats diverged between engines for {scheme}")
+    speedup = scalar_seconds / vector_seconds
+    print(f"\n{scheme}: scalar {len(trace) / scalar_seconds:,.0f} acc/s, "
+          f"vectorized {len(trace) / vector_seconds:,.0f} acc/s "
+          f"({speedup:.1f}x)")
+    if len(trace) >= MIN_ACCESSES_FOR_SPEEDUP_CHECK:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"{scheme}: vectorized engine only {speedup:.1f}x over scalar "
+            f"(required {REQUIRED_SPEEDUP}x)")
+
+
+def main():
+    print(f"strided trace: {ELEMENTS} elements, stride {STRIDE}, "
+          f"{BENCH_ENGINE_ACCESSES:,} accesses, "
+          f"{PAPER_L1_8KB.label} cache\n")
+    header = (f"{'scheme':10s} {'scalar acc/s':>14s} {'vector acc/s':>14s} "
+              f"{'speedup':>8s} {'miss%':>7s}")
+    print(header)
+    print("-" * len(header))
+    for scheme in SCHEMES:
+        row = compare_engines(scheme)
+        print(f"{row['scheme']:10s} {row['scalar_aps']:14,.0f} "
+              f"{row['vector_aps']:14,.0f} {row['speedup']:7.1f}x "
+              f"{100 * row['miss_ratio']:6.2f}%")
+        if row["accesses"] >= MIN_ACCESSES_FOR_SPEEDUP_CHECK:
+            assert row["speedup"] >= REQUIRED_SPEEDUP, (
+                f"{row['scheme']}: only {row['speedup']:.1f}x")
+    print(f"\nall schemes >= {REQUIRED_SPEEDUP:.0f}x with bit-exact CacheStats")
+
+
+if __name__ == "__main__":
+    main()

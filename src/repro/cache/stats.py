@@ -17,7 +17,6 @@ quantity the I-Poly scheme sets out to eliminate.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
@@ -133,7 +132,9 @@ class MissClassifier:
             raise ValueError("capacity_blocks must be positive")
         self._capacity = capacity_blocks
         self._seen: Set[int] = set()
-        self._shadow: "OrderedDict[int, None]" = OrderedDict()
+        # Insertion-ordered plain dict as the shadow LRU stack (oldest
+        # first); also used directly by the batch engine's kernels.
+        self._shadow: Dict[int, None] = {}
 
     @property
     def capacity_blocks(self) -> int:
@@ -150,13 +151,15 @@ class MissClassifier:
         first_touch = block_number not in self._seen
         self._seen.add(block_number)
 
-        shadow_hit = block_number in self._shadow
+        shadow = self._shadow
+        shadow_hit = block_number in shadow
         if shadow_hit:
-            self._shadow.move_to_end(block_number)
+            del shadow[block_number]
+            shadow[block_number] = None
         else:
-            self._shadow[block_number] = None
-            if len(self._shadow) > self._capacity:
-                self._shadow.popitem(last=False)
+            shadow[block_number] = None
+            if len(shadow) > self._capacity:
+                del shadow[next(iter(shadow))]
 
         if real_hit:
             return None

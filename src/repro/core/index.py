@@ -57,6 +57,22 @@ def _check_power_of_two(value: int, what: str) -> int:
     return value
 
 
+def _check_block_and_way(block_number: int, way: int) -> None:
+    """Shared argument validation for every placement function.
+
+    All families must reject negative block numbers *and* negative ways the
+    same way; the differential harness surfaced that bit-selection, prime and
+    single-set indexing silently accepted negative ways (they ignore the
+    argument) while the XOR and I-Poly families raised — an inconsistency
+    that let malformed skewed-cache configurations slip through on some
+    placement schemes only.
+    """
+    if block_number < 0:
+        raise ValueError("block_number must be non-negative")
+    if way < 0:
+        raise ValueError("way must be non-negative")
+
+
 class IndexFunction(abc.ABC):
     """Abstract placement function mapping block numbers to set indices.
 
@@ -115,8 +131,7 @@ class BitSelectIndexing(IndexFunction):
     name = "a2"
 
     def index(self, block_number: int, way: int = 0) -> int:
-        if block_number < 0:
-            raise ValueError("block_number must be non-negative")
+        _check_block_and_way(block_number, way)
         return block_number & (self._num_sets - 1)
 
 
@@ -152,10 +167,7 @@ class XorFoldIndexing(IndexFunction):
         return ((field << amount) | (field >> (m - amount))) & mask
 
     def index(self, block_number: int, way: int = 0) -> int:
-        if block_number < 0:
-            raise ValueError("block_number must be non-negative")
-        if way < 0:
-            raise ValueError("way must be non-negative")
+        _check_block_and_way(block_number, way)
         mask = self._num_sets - 1
         low = block_number & mask
         high = (block_number >> self._index_bits) & mask
@@ -255,8 +267,7 @@ class IPolyIndexing(IndexFunction):
         return self._polynomials[0]
 
     def index(self, block_number: int, way: int = 0) -> int:
-        if block_number < 0:
-            raise ValueError("block_number must be non-negative")
+        _check_block_and_way(block_number, way)
         poly = self.polynomial_for_way(way)
         return gf2_mod(block_number & self._address_mask, poly)
 
@@ -287,8 +298,7 @@ class PrimeModuloIndexing(IndexFunction):
         return self._prime
 
     def index(self, block_number: int, way: int = 0) -> int:
-        if block_number < 0:
-            raise ValueError("block_number must be non-negative")
+        _check_block_and_way(block_number, way)
         return block_number % self._prime
 
 
@@ -301,8 +311,7 @@ class SingleSetIndexing(IndexFunction):
         super().__init__(1)
 
     def index(self, block_number: int, way: int = 0) -> int:
-        if block_number < 0:
-            raise ValueError("block_number must be non-negative")
+        _check_block_and_way(block_number, way)
         return 0
 
 

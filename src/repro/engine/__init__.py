@@ -1,0 +1,58 @@
+"""Vectorized batch simulation engine.
+
+The scalar models in :mod:`repro.cache` process one
+:class:`~repro.trace.record.MemoryAccess` at a time and are the behavioural
+reference; this package is the fast path.  It materialises traces into NumPy
+arrays (:class:`AddressBatch`), computes placement indices for whole arrays
+at once (:mod:`repro.engine.index_vec`, including a precomputed
+GF(2)-remainder lookup table for I-Poly hashing), and simulates
+set-associative, skewed and column-associative caches over address batches
+(:mod:`repro.engine.batch_cache`) with bit-exact
+:class:`~repro.cache.stats.CacheStats` agreement — enforced by the
+differential suite in ``tests/test_engine_equivalence.py``.
+
+:mod:`repro.engine.tabulated` accelerates the scalar I-Poly function itself
+for the sequential processor simulator, and :mod:`repro.engine.sweep` fans
+experiment sweeps across ``concurrent.futures`` workers.
+
+Experiment drivers expose the choice as ``engine={"reference", "vectorized"}``
+(CLI: ``--engine``); :data:`ENGINES` names the valid values.
+"""
+
+from .batch import AddressBatch, materialise_batch
+from .batch_cache import BatchColumnAssociativeCache, BatchSetAssociativeCache
+from .index_vec import GF2RemainderTable, VectorizedIndex, vectorize_index
+from .sweep import run_sweep
+from .tabulated import TabulatedIPolyIndexing, tabulate_index_function
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_REFERENCE",
+    "ENGINE_VECTORIZED",
+    "check_engine",
+    "AddressBatch",
+    "materialise_batch",
+    "BatchSetAssociativeCache",
+    "BatchColumnAssociativeCache",
+    "GF2RemainderTable",
+    "VectorizedIndex",
+    "vectorize_index",
+    "run_sweep",
+    "TabulatedIPolyIndexing",
+    "tabulate_index_function",
+]
+
+#: The behavioural reference: scalar models, one access at a time.
+ENGINE_REFERENCE = "reference"
+#: The batch engine of this package.
+ENGINE_VECTORIZED = "vectorized"
+#: Valid values of every driver's ``engine`` parameter.
+ENGINES = (ENGINE_REFERENCE, ENGINE_VECTORIZED)
+
+
+def check_engine(engine: str) -> str:
+    """Validate an ``engine`` parameter value, returning it normalised."""
+    label = str(engine).strip().lower()
+    if label not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return label

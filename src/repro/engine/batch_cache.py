@@ -1,0 +1,713 @@
+"""Batch cache simulators: whole-trace simulation over NumPy address arrays.
+
+This module is the heart of the vectorized engine.  It simulates the same
+cache organisations as the scalar models in :mod:`repro.cache` —
+set-associative (conventional or skewed, either write policy) and
+column-associative — but consumes an :class:`~repro.engine.batch.AddressBatch`
+instead of one :class:`~repro.trace.record.MemoryAccess` at a time, and is
+bit-exact with the scalar models by construction (the differential suite in
+``tests/test_engine_equivalence.py`` asserts identical hit/miss sequences and
+identical final :class:`~repro.cache.stats.CacheStats`).
+
+Three execution strategies, picked automatically per batch:
+
+1. **Fully vectorized** (non-skewed, <= 2 ways, LRU, load-only batch, cold
+   cache): set indices are computed for the whole array at once, accesses are
+   grouped by set with a stable argsort, and consecutive same-block runs are
+   collapsed.  Within a set, adjacent collapsed runs have distinct block
+   values, so the LRU contents of a 2-way set before the first access of run
+   ``k`` are exactly ``{U[k-1], U[k-2]}`` — which turns exact hit/miss
+   classification into a couple of shifted array comparisons.  No per-access
+   Python at all.
+2. **Tight scalar kernel over pre-vectorized indices** (everything else):
+   set indices for all ways are still computed array-at-a-time (including the
+   GF(2)-table I-Poly reduction), then a minimal Python loop updates
+   plain-list tag/LRU/dirty stores.  This path supports stores under both
+   write policies, skewed placement, any associativity, warm caches and the
+   3C miss classifier.
+3. **Column-associative kernel**: same idea for the two-probe
+   column-associative organisation, replicating the swap-on-second-probe-hit
+   and displaced-block-retreat behaviour of
+   :class:`~repro.cache.column_assoc.ColumnAssociativeCache` exactly.
+
+Only LRU replacement is modelled (the paper's trace-level experiments use
+nothing else); unlike the scalar cache there is no ``replacement`` parameter
+to override it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..cache.set_assoc import WritePolicy
+from ..cache.stats import CacheStats, MissClassifier, MissKind
+from ..core.index import BitSelectIndexing, IndexFunction, IPolyIndexing
+from .batch import AddressBatch
+from .index_vec import VectorizedIndex, _VecIPoly, vectorize_index
+
+__all__ = ["BatchSetAssociativeCache", "BatchColumnAssociativeCache"]
+
+
+class BatchSetAssociativeCache:
+    """Batch counterpart of :class:`~repro.cache.set_assoc.SetAssociativeCache`.
+
+    Construction mirrors the scalar cache (same geometry validation, same
+    defaults); :meth:`run` consumes an :class:`AddressBatch` and returns the
+    per-access hit mask while accumulating into :attr:`stats`.  State persists
+    across calls, so a cache can be warmed with one batch and measured with
+    the next, exactly like the scalar model.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        block_size: int,
+        ways: int,
+        index_function: Optional[IndexFunction] = None,
+        write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+        classify_misses: bool = False,
+        name: str = "",
+    ) -> None:
+        if block_size < 1 or block_size & (block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if ways < 1:
+            raise ValueError("ways must be at least 1")
+        if size_bytes < block_size * ways:
+            raise ValueError("cache must hold at least one set")
+        if size_bytes % (block_size * ways):
+            raise ValueError(
+                "size_bytes must be a multiple of block_size * ways "
+                f"({block_size * ways}), got {size_bytes}"
+            )
+        if write_policy not in WritePolicy.ALL:
+            raise ValueError(f"unknown write policy {write_policy!r}")
+
+        self._size_bytes = size_bytes
+        self._block_size = block_size
+        self._ways = ways
+        self._num_sets = size_bytes // (block_size * ways)
+        if self._num_sets & (self._num_sets - 1):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self._num_sets}"
+            )
+        if index_function is None:
+            index_function = BitSelectIndexing(self._num_sets)
+        if index_function.num_sets != self._num_sets:
+            raise ValueError(
+                f"index function covers {index_function.num_sets} sets but the "
+                f"cache has {self._num_sets}"
+            )
+        self._index_fn = index_function
+        self._vec_index: VectorizedIndex = vectorize_index(index_function)
+        self._write_policy = write_policy
+        self._name = name or (f"{size_bytes // 1024}KB-{ways}way-"
+                              f"{index_function.name}-batch")
+        self._skewed = index_function.is_skewed
+
+        self._clock = 0
+        self.stats = CacheStats()
+        self._classifier = (
+            MissClassifier(self.num_blocks) if classify_misses else None
+        )
+        # Non-skewed state: one dict per set mapping block -> dirty, in
+        # LRU-to-MRU insertion order.  Skewed state: per-way flat tag /
+        # last-used / dirty lists (tag -1 == invalid frame).
+        if self._skewed:
+            self._way_tags = [[-1] * self._num_sets for _ in range(ways)]
+            self._way_used = [[0] * self._num_sets for _ in range(ways)]
+            self._way_dirty = [[False] * self._num_sets for _ in range(ways)]
+            self._sets: List[Dict[int, bool]] = []
+        else:
+            self._sets = [dict() for _ in range(self._num_sets)]
+
+    # ------------------------------------------------------------------ #
+    # introspection (mirrors the scalar cache)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """Human-readable label for reports."""
+        return self._name
+
+    @property
+    def size_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self._size_bytes
+
+    @property
+    def block_size(self) -> int:
+        """Line size in bytes."""
+        return self._block_size
+
+    @property
+    def ways(self) -> int:
+        """Associativity."""
+        return self._ways
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets per way."""
+        return self._num_sets
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of frames."""
+        return self._num_sets * self._ways
+
+    @property
+    def index_function(self) -> IndexFunction:
+        """The (scalar) placement function this cache vectorizes."""
+        return self._index_fn
+
+    @property
+    def write_policy(self) -> str:
+        """The configured write policy."""
+        return self._write_policy
+
+    def resident_blocks(self) -> List[int]:
+        """All resident block numbers (order unspecified)."""
+        if self._skewed:
+            return [tag for tags in self._way_tags for tag in tags if tag >= 0]
+        return [block for d in self._sets for block in d]
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters."""
+        self.stats.reset()
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+
+    def run(self, batch: AddressBatch) -> np.ndarray:
+        """Simulate a whole batch; returns the per-access hit mask (bool).
+
+        Statistics accumulate into :attr:`stats` and cache state carries over
+        to the next call, exactly like feeding the scalar model one access at
+        a time.
+        """
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        blocks = batch.block_numbers(self._block_size)
+        if (not self._skewed and self._ways <= 2 and self._classifier is None
+                and self._clock == 0 and not batch.has_stores):
+            return self._run_vectorized(blocks)
+        if self._skewed:
+            return self._run_skewed_kernel(blocks, batch.is_write)
+        return self._run_dict_kernel(blocks, batch.is_write)
+
+    # -- strategy 1: fully vectorized (non-skewed, <= 2 ways, loads, cold) --
+
+    def _run_vectorized(self, blocks: np.ndarray) -> np.ndarray:
+        n = blocks.shape[0]
+        ways = self._ways
+        sets = self._vec_index.way_indices(blocks, 0).astype(np.int64)
+
+        order = np.argsort(sets, kind="stable")
+        gb = blocks[order]
+        gs = sets[order]
+        new_set = np.empty(n, dtype=bool)
+        new_set[0] = True
+        np.not_equal(gs[1:], gs[:-1], out=new_set[1:])
+        new_run = np.empty(n, dtype=bool)
+        new_run[0] = True
+        np.not_equal(gb[1:], gb[:-1], out=new_run[1:])
+        new_run |= new_set
+        run_id = np.cumsum(new_run) - 1
+
+        run_values = gb[new_run]
+        run_new_set = new_set[new_run]
+        num_runs = run_values.shape[0]
+        run_pos = np.arange(num_runs)
+        set_start = np.maximum.accumulate(np.where(run_new_set, run_pos, 0))
+        run_in_set = run_pos - set_start
+
+        if ways == 1:
+            # A first-of-run access never matches the single resident block
+            # (adjacent runs differ by construction), so it always misses.
+            run_hit = np.zeros(num_runs, dtype=bool)
+        else:
+            prev2 = np.empty(num_runs, dtype=np.int64)
+            prev2[:2] = -1
+            prev2[2:] = run_values[:-2]
+            run_hit = (run_in_set >= 2) & (run_values == prev2)
+
+        grouped_hits = ~new_run | run_hit[run_id]
+        hits = np.empty(n, dtype=bool)
+        hits[order] = grouped_hits
+
+        misses = int(n - np.count_nonzero(grouped_hits))
+        self.stats.loads += n
+        self.stats.load_misses += misses
+        # The first `ways` misses of each set fill invalid frames; every
+        # later miss evicts exactly one (clean — the batch has no stores).
+        miss_counts = np.bincount(gs[~grouped_hits], minlength=self._num_sets)
+        self.stats.evictions += int(
+            np.maximum(miss_counts - ways, 0).sum())
+        self._clock += n
+
+        # Materialise the final LRU state so later (kernel) runs continue
+        # bit-exactly: the residents of each set are the values of its last
+        # `ways` collapsed runs, inserted LRU-first.
+        last_of_set = np.empty(num_runs, dtype=bool)
+        last_of_set[:-1] = run_new_set[1:]
+        last_of_set[-1] = True
+        run_sets = gs[new_run]
+        for r in np.flatnonzero(last_of_set):
+            d = self._sets[int(run_sets[r])]
+            if ways == 2 and run_in_set[r] >= 1:
+                d[int(run_values[r - 1])] = False
+            d[int(run_values[r])] = False
+        return hits
+
+    # -- strategy 2a: non-skewed tight kernel --------------------------- #
+
+    def _run_dict_kernel(self, blocks: np.ndarray,
+                         is_write: np.ndarray) -> np.ndarray:
+        n = blocks.shape[0]
+        sets_l = self._vec_index.way_indices(blocks, 0).astype(np.int64).tolist()
+        blocks_l = blocks.tolist()
+        writes_l = is_write.tolist()
+        sets_state = self._sets
+        ways = self._ways
+        write_back = self._write_policy == WritePolicy.WRITE_BACK_ALLOCATE
+        classifier = self._classifier
+        stats = self.stats
+
+        hits_l = []
+        hit_append = hits_l.append
+        loads = stores = load_misses = store_misses = evictions = writebacks = 0
+        kinds = {MissKind.COMPULSORY: 0, MissKind.CAPACITY: 0, MissKind.CONFLICT: 0}
+
+        for b, s, w in zip(blocks_l, sets_l, writes_l):
+            d = sets_state[s]
+            if b in d:
+                dirty = d.pop(b)
+                d[b] = dirty or (w and write_back)
+                if w:
+                    stores += 1
+                else:
+                    loads += 1
+                hit_append(True)
+                if classifier is not None:
+                    classifier.classify(b, True)
+                continue
+            # Miss.
+            hit_append(False)
+            if classifier is not None:
+                kind = classifier.classify(b, False)
+                kinds[kind] += 1
+            if w:
+                stores += 1
+                store_misses += 1
+                if not write_back:
+                    continue  # write-through / no-write-allocate
+            else:
+                loads += 1
+                load_misses += 1
+            if len(d) >= ways:
+                victim = next(iter(d))
+                if d.pop(victim):
+                    writebacks += 1
+                evictions += 1
+            d[b] = w and write_back
+
+        self._clock += n
+        stats.loads += loads
+        stats.stores += stores
+        stats.load_misses += load_misses
+        stats.store_misses += store_misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        if classifier is not None:
+            for kind, count in kinds.items():
+                stats.miss_kinds[kind] += count
+        return np.array(hits_l, dtype=bool)
+
+    # -- strategy 2b: skewed tight kernel ------------------------------- #
+
+    def _run_skewed_kernel(self, blocks: np.ndarray,
+                           is_write: np.ndarray) -> np.ndarray:
+        if self._ways == 2:
+            return self._run_skewed_kernel_2way(blocks, is_write)
+        return self._run_skewed_kernel_generic(blocks, is_write)
+
+    def _run_skewed_kernel_2way(self, blocks: np.ndarray,
+                                is_write: np.ndarray) -> np.ndarray:
+        n = blocks.shape[0]
+        s0_l = self._vec_index.way_indices(blocks, 0).astype(np.int64).tolist()
+        s1_l = self._vec_index.way_indices(blocks, 1).astype(np.int64).tolist()
+        blocks_l = blocks.tolist()
+        writes_l = is_write.tolist()
+        t0, t1 = self._way_tags
+        u0, u1 = self._way_used
+        d0, d1 = self._way_dirty
+        write_back = self._write_policy == WritePolicy.WRITE_BACK_ALLOCATE
+        classifier = self._classifier
+        stats = self.stats
+        clock = self._clock
+
+        hits_l = []
+        hit_append = hits_l.append
+        loads = stores = load_misses = store_misses = evictions = writebacks = 0
+        kinds = {MissKind.COMPULSORY: 0, MissKind.CAPACITY: 0, MissKind.CONFLICT: 0}
+
+        for b, sa, sb, w in zip(blocks_l, s0_l, s1_l, writes_l):
+            clock += 1
+            if t0[sa] == b:
+                u0[sa] = clock
+                if w:
+                    stores += 1
+                    if write_back:
+                        d0[sa] = True
+                else:
+                    loads += 1
+                hit_append(True)
+                if classifier is not None:
+                    classifier.classify(b, True)
+                continue
+            if t1[sb] == b:
+                u1[sb] = clock
+                if w:
+                    stores += 1
+                    if write_back:
+                        d1[sb] = True
+                else:
+                    loads += 1
+                hit_append(True)
+                if classifier is not None:
+                    classifier.classify(b, True)
+                continue
+            # Miss.
+            hit_append(False)
+            if classifier is not None:
+                kind = classifier.classify(b, False)
+                kinds[kind] += 1
+            if w:
+                stores += 1
+                store_misses += 1
+                if not write_back:
+                    continue
+            else:
+                loads += 1
+                load_misses += 1
+            dirty = w and write_back
+            # Invalid frames first (in way order), then the LRU victim with
+            # ties broken towards way 0 — the scalar `_fill` ordering.
+            if t0[sa] < 0:
+                t0[sa] = b
+                u0[sa] = clock
+                d0[sa] = dirty
+            elif t1[sb] < 0:
+                t1[sb] = b
+                u1[sb] = clock
+                d1[sb] = dirty
+            elif u0[sa] <= u1[sb]:
+                evictions += 1
+                if d0[sa]:
+                    writebacks += 1
+                t0[sa] = b
+                u0[sa] = clock
+                d0[sa] = dirty
+            else:
+                evictions += 1
+                if d1[sb]:
+                    writebacks += 1
+                t1[sb] = b
+                u1[sb] = clock
+                d1[sb] = dirty
+
+        self._clock = clock
+        stats.loads += loads
+        stats.stores += stores
+        stats.load_misses += load_misses
+        stats.store_misses += store_misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        if classifier is not None:
+            for kind, count in kinds.items():
+                stats.miss_kinds[kind] += count
+        return np.array(hits_l, dtype=bool)
+
+    def _run_skewed_kernel_generic(self, blocks: np.ndarray,
+                                   is_write: np.ndarray) -> np.ndarray:
+        n = blocks.shape[0]
+        ways = self._ways
+        way_sets = [self._vec_index.way_indices(blocks, w).astype(np.int64).tolist()
+                    for w in range(ways)]
+        blocks_l = blocks.tolist()
+        writes_l = is_write.tolist()
+        tags = self._way_tags
+        used = self._way_used
+        dirty = self._way_dirty
+        write_back = self._write_policy == WritePolicy.WRITE_BACK_ALLOCATE
+        classifier = self._classifier
+        stats = self.stats
+        clock = self._clock
+        way_range = range(ways)
+
+        hits_l = []
+        hit_append = hits_l.append
+        loads = stores = load_misses = store_misses = evictions = writebacks = 0
+        kinds = {MissKind.COMPULSORY: 0, MissKind.CAPACITY: 0, MissKind.CONFLICT: 0}
+
+        for i, b in enumerate(blocks_l):
+            clock += 1
+            w = writes_l[i]
+            hit_way = -1
+            for wy in way_range:
+                s = way_sets[wy][i]
+                if tags[wy][s] == b:
+                    hit_way = wy
+                    used[wy][s] = clock
+                    if w and write_back:
+                        dirty[wy][s] = True
+                    break
+            if hit_way >= 0:
+                if w:
+                    stores += 1
+                else:
+                    loads += 1
+                hit_append(True)
+                if classifier is not None:
+                    classifier.classify(b, True)
+                continue
+            hit_append(False)
+            if classifier is not None:
+                kind = classifier.classify(b, False)
+                kinds[kind] += 1
+            if w:
+                stores += 1
+                store_misses += 1
+                if not write_back:
+                    continue
+            else:
+                loads += 1
+                load_misses += 1
+            fill_dirty = w and write_back
+            target = -1
+            for wy in way_range:
+                if tags[wy][way_sets[wy][i]] < 0:
+                    target = wy
+                    break
+            if target < 0:
+                best_used = None
+                for wy in way_range:
+                    stamp = used[wy][way_sets[wy][i]]
+                    if best_used is None or stamp < best_used:
+                        best_used = stamp
+                        target = wy
+                s = way_sets[target][i]
+                evictions += 1
+                if dirty[target][s]:
+                    writebacks += 1
+            s = way_sets[target][i]
+            tags[target][s] = b
+            used[target][s] = clock
+            dirty[target][s] = fill_dirty
+
+        self._clock = clock
+        stats.loads += loads
+        stats.stores += stores
+        stats.load_misses += load_misses
+        stats.store_misses += store_misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        if classifier is not None:
+            for kind, count in kinds.items():
+                stats.miss_kinds[kind] += count
+        return np.array(hits_l, dtype=bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchSetAssociativeCache({self._size_bytes}B, {self._ways}-way, "
+            f"{self._block_size}B blocks, index={self._index_fn.name})"
+        )
+
+
+class BatchColumnAssociativeCache:
+    """Batch counterpart of :class:`~repro.cache.column_assoc.ColumnAssociativeCache`.
+
+    The two probe indices are computed array-at-a-time; the per-access state
+    machine (swap on second-probe hit, displaced-block retreat on miss) runs
+    in a tight kernel over flat tag/dirty lists and replicates the scalar
+    model's behaviour — including its statistics — exactly.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        block_size: int,
+        primary_index: Optional[IndexFunction] = None,
+        secondary_index: Optional[IndexFunction] = None,
+        swap_on_rehash_hit: bool = True,
+        classify_misses: bool = False,
+        address_bits: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        if block_size < 1 or block_size & (block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if size_bytes % block_size:
+            raise ValueError("size_bytes must be a multiple of block_size")
+        num_frames = size_bytes // block_size
+        if num_frames & (num_frames - 1):
+            raise ValueError("number of frames must be a power of two")
+
+        self._block_size = block_size
+        self._num_frames = num_frames
+        self._primary = primary_index or BitSelectIndexing(num_frames)
+        self._secondary = secondary_index or IPolyIndexing(
+            num_frames, address_bits=address_bits)
+        for fn, label in ((self._primary, "primary"), (self._secondary, "secondary")):
+            if fn.num_sets != num_frames:
+                raise ValueError(f"{label} index covers {fn.num_sets} sets, "
+                                 f"cache has {num_frames} frames")
+        self._vec_primary = vectorize_index(self._primary)
+        self._vec_secondary = vectorize_index(self._secondary)
+        # Scalar rehash of an arbitrary (displaced) block: the GF(2) chunk
+        # tables make this a couple of list lookups for I-Poly functions.
+        if isinstance(self._vec_secondary, _VecIPoly):
+            self._rehash_scalar: Callable[[int], int] = (
+                self._vec_secondary.table_for_way(0).reduce_scalar)
+        else:
+            self._rehash_scalar = self._secondary.index
+        self._swap = bool(swap_on_rehash_hit)
+        self._name = name or f"column-{size_bytes // 1024}KB-batch"
+
+        self._tags = [-1] * num_frames
+        self._dirty = [False] * num_frames
+        self.stats = CacheStats()
+        self.first_probe_hits = 0
+        self.second_probe_hits = 0
+        self.total_probes = 0
+        self._classifier = (
+            MissClassifier(num_frames) if classify_misses else None
+        )
+
+    @property
+    def name(self) -> str:
+        """Label used in reports."""
+        return self._name
+
+    @property
+    def block_size(self) -> int:
+        """Line size in bytes."""
+        return self._block_size
+
+    @property
+    def num_frames(self) -> int:
+        """Total number of frames (direct-mapped)."""
+        return self._num_frames
+
+    @property
+    def first_probe_hit_ratio(self) -> float:
+        """Fraction of hits satisfied on the first probe."""
+        hits = self.first_probe_hits + self.second_probe_hits
+        return self.first_probe_hits / hits if hits else 0.0
+
+    @property
+    def average_probes(self) -> float:
+        """Average number of probes per access (>= 1)."""
+        return self.total_probes / self.stats.accesses if self.stats.accesses else 0.0
+
+    def run(self, batch: AddressBatch) -> np.ndarray:
+        """Simulate a whole batch; returns the per-access hit mask (bool)."""
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        blocks = batch.block_numbers(self._block_size)
+        prim_l = self._vec_primary.way_indices(blocks, 0).astype(np.int64).tolist()
+        sec_l = self._vec_secondary.way_indices(blocks, 0).astype(np.int64).tolist()
+        blocks_l = blocks.tolist()
+        writes_l = batch.is_write.tolist()
+        tags = self._tags
+        dirty = self._dirty
+        swap = self._swap
+        rehash = self._rehash_scalar
+        classifier = self._classifier
+        stats = self.stats
+
+        hits_l = []
+        hit_append = hits_l.append
+        loads = stores = load_misses = store_misses = evictions = 0
+        first_hits = second_hits = probes_total = 0
+        kinds = {MissKind.COMPULSORY: 0, MissKind.CAPACITY: 0, MissKind.CONFLICT: 0}
+
+        for b, p, s, w in zip(blocks_l, prim_l, sec_l, writes_l):
+            first_hit = tags[p] == b
+            second_hit = (not first_hit) and s != p and tags[s] == b
+            hit = first_hit or second_hit
+            probes_total += 1 if first_hit else 2
+
+            if classifier is not None:
+                kind = classifier.classify(b, hit)
+                if kind is not None:
+                    kinds[kind] += 1
+            if w:
+                stores += 1
+                if not hit:
+                    store_misses += 1
+            else:
+                loads += 1
+                if not hit:
+                    load_misses += 1
+            hit_append(hit)
+
+            if first_hit:
+                first_hits += 1
+                continue
+            if second_hit:
+                second_hits += 1
+                if swap:
+                    # Promote the block to its primary slot; the displaced
+                    # primary occupant retreats to the secondary slot (and,
+                    # as in the scalar model, the promoted line comes back
+                    # clean).
+                    displaced = tags[p]
+                    displaced_dirty = dirty[p]
+                    tags[p] = b
+                    dirty[p] = False
+                    if displaced >= 0:
+                        tags[s] = displaced
+                        dirty[s] = displaced_dirty
+                    else:
+                        tags[s] = -1
+                        dirty[s] = False
+                continue
+            # Miss: install at the primary slot; its previous occupant
+            # retreats to that block's own rehash location.
+            if tags[p] < 0:
+                tags[p] = b
+                dirty[p] = False
+                continue
+            displaced = tags[p]
+            displaced_dirty = dirty[p]
+            tags[p] = b
+            dirty[p] = False
+            retreat = rehash(displaced)
+            if retreat == p:
+                evictions += 1
+                continue
+            if tags[retreat] >= 0:
+                evictions += 1
+            tags[retreat] = displaced
+            dirty[retreat] = displaced_dirty
+
+        stats.loads += loads
+        stats.stores += stores
+        stats.load_misses += load_misses
+        stats.store_misses += store_misses
+        stats.evictions += evictions
+        if classifier is not None:
+            for kind, count in kinds.items():
+                stats.miss_kinds[kind] += count
+        self.first_probe_hits += first_hits
+        self.second_probe_hits += second_hits
+        self.total_probes += probes_total
+        return np.array(hits_l, dtype=bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BatchColumnAssociativeCache({self._num_frames} frames, "
+                f"{self._block_size}B blocks)")

@@ -1,0 +1,83 @@
+"""Table-accelerated scalar I-Poly indexing for the processor path.
+
+The out-of-order processor simulator is inherently sequential — every data
+cache access depends on pipeline state — so it cannot consume address arrays.
+What *can* be accelerated bit-exactly is the placement function itself: the
+scalar :class:`~repro.core.index.IPolyIndexing` calls
+:func:`~repro.core.gf2.gf2_mod`, a Python long-division loop, twice per
+access on a two-way cache.  :class:`TabulatedIPolyIndexing` replaces that
+with the chunked GF(2) remainder lookup tables of
+:class:`~repro.engine.index_vec.GF2RemainderTable` — identical results, a
+handful of list lookups per call.
+
+This is what ``--engine vectorized`` means for the Table 2 / Table 3
+processor experiments: same machine model, same access-by-access simulation,
+same numbers, faster index hardware model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.index import IndexFunction, IPolyIndexing, _check_block_and_way
+from .index_vec import GF2RemainderTable, remainder_table
+
+__all__ = ["TabulatedIPolyIndexing", "tabulate_index_function"]
+
+
+class TabulatedIPolyIndexing(IPolyIndexing):
+    """Drop-in :class:`IPolyIndexing` whose ``index`` uses lookup tables.
+
+    Construction parameters are identical to the parent class; behaviour is
+    bit-exact (asserted by the Hypothesis suite), only faster.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int = 1,
+        skewed: bool = False,
+        address_bits: Optional[int] = None,
+        polynomials: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(num_sets, ways=ways, skewed=skewed,
+                         address_bits=address_bits, polynomials=polynomials)
+        tables: Dict[int, GF2RemainderTable] = {
+            poly: remainder_table(poly, self.address_bits_used)
+            for poly in self.polynomials
+        }
+        self._tables = tables
+        # Per-way table list resolved once so `index` avoids the modulo +
+        # dict hop of `polynomial_for_way` on every access.
+        way_count = max(1, len(self.polynomials))
+        self._way_tables: List[GF2RemainderTable] = [
+            tables[self.polynomial_for_way(way)] for way in range(way_count)
+        ]
+
+    def index(self, block_number: int, way: int = 0) -> int:
+        _check_block_and_way(block_number, way)
+        if self.is_skewed:
+            table = self._way_tables[way % len(self._way_tables)]
+        else:
+            table = self._way_tables[0]
+        return table.reduce_scalar(block_number)
+
+
+def tabulate_index_function(fn: IndexFunction) -> IndexFunction:
+    """Return a table-accelerated equivalent of ``fn`` where one exists.
+
+    I-Poly functions are rebuilt as :class:`TabulatedIPolyIndexing` (same
+    polynomials, same address window); every other family is already a few
+    integer operations per call and is returned unchanged.
+    """
+    if isinstance(fn, TabulatedIPolyIndexing):
+        return fn
+    if isinstance(fn, IPolyIndexing):
+        return TabulatedIPolyIndexing(
+            num_sets=fn.num_sets,
+            ways=max(1, len(fn.polynomials)),
+            skewed=fn.is_skewed,
+            address_bits=fn.address_bits_used,
+            polynomials=fn.polynomials,
+        )
+    return fn

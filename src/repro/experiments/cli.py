@@ -3,16 +3,21 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro.experiments.cli figure1 --max-stride 1024 --stride-step 4
+    python -m repro.experiments.cli figure1 --engine vectorized --workers 4
     python -m repro.experiments.cli table2 --instructions 12000
     python -m repro.experiments.cli table3 --instructions 12000
     python -m repro.experiments.cli miss-ratio --accesses 30000
+    python -m repro.experiments.cli miss-ratio --engine vectorized
     python -m repro.experiments.cli holes --accesses 40000
     python -m repro.experiments.cli column-assoc --accesses 30000
     python -m repro.experiments.cli critical-path
 
 Each sub-command prints the same table/histogram the corresponding benchmark
 regenerates; ``--csv`` switches the tabular experiments to CSV output so the
-results can be piped into other tools.
+results can be piped into other tools.  ``--engine {reference,vectorized}``
+selects the scalar reference models or the bit-exact NumPy batch engine
+(``figure1`` additionally accepts ``--workers`` to fan the sweep across
+processes).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from ..engine import ENGINES
 from .column_assoc_study import run_column_assoc_study
 from .critical_path import run_critical_path_study
 from .figure1 import run_figure1
@@ -40,23 +46,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
+    def add_engine(parser_: argparse.ArgumentParser) -> None:
+        parser_.add_argument("--engine", choices=list(ENGINES),
+                             default="reference",
+                             help="simulation engine: scalar reference models "
+                                  "or the bit-exact NumPy batch engine")
+
     figure1 = sub.add_parser("figure1", help="Figure 1 stride sweep")
     figure1.add_argument("--max-stride", type=int, default=1024)
     figure1.add_argument("--stride-step", type=int, default=4)
     figure1.add_argument("--sweeps", type=int, default=8)
+    figure1.add_argument("--workers", type=int, default=None,
+                         help="fan the sweep across this many processes")
+    add_engine(figure1)
 
     table2 = sub.add_parser("table2", help="Table 2 IPC / miss-ratio sweep")
     table2.add_argument("--instructions", type=int, default=12_000)
     table2.add_argument("--programs", nargs="*", default=None)
     table2.add_argument("--csv", action="store_true")
+    add_engine(table2)
 
     table3 = sub.add_parser("table3", help="Table 3 high-conflict breakdown")
     table3.add_argument("--instructions", type=int, default=12_000)
+    add_engine(table3)
 
     miss_ratio = sub.add_parser("miss-ratio", help="Section 2.1 organisation comparison")
     miss_ratio.add_argument("--accesses", type=int, default=30_000)
     miss_ratio.add_argument("--programs", nargs="*", default=None)
     miss_ratio.add_argument("--csv", action="store_true")
+    add_engine(miss_ratio)
 
     holes = sub.add_parser("holes", help="Section 3.3 hole model vs simulation")
     holes.add_argument("--accesses", type=int, default=40_000)
@@ -72,11 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_experiment(args: argparse.Namespace) -> str:
     if args.experiment == "figure1":
         result = run_figure1(max_stride=args.max_stride, sweeps=args.sweeps,
-                             stride_step=args.stride_step)
+                             stride_step=args.stride_step,
+                             engine=args.engine, workers=args.workers)
         return result.render()
     if args.experiment == "table2":
         result = run_table2(programs=args.programs or None,
-                            instructions=args.instructions)
+                            instructions=args.instructions,
+                            engine=args.engine)
         if args.csv:
             return (result.ipc_table().render_csv()
                     + "\n" + result.miss_ratio_table().render_csv())
@@ -85,10 +105,12 @@ def _run_experiment(args: argparse.Namespace) -> str:
                 + f"\n\nmiss-ratio std-dev: conventional={stds['8K-conv']:.2f} "
                   f"ipoly={stds['8K-ipoly-noCP']:.2f}")
     if args.experiment == "table3":
-        return run_table3(instructions=args.instructions).render()
+        return run_table3(instructions=args.instructions,
+                          engine=args.engine).render()
     if args.experiment == "miss-ratio":
         result = run_miss_ratio_study(programs=args.programs or None,
-                                      accesses=args.accesses)
+                                      accesses=args.accesses,
+                                      engine=args.engine)
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "holes":
         result = run_holes_study(l2_sizes=[kb * 1024 for kb in args.l2_kilobytes],

@@ -14,14 +14,33 @@ indexing scheme.  The headline observations are:
 :func:`run_figure1` reproduces the sweep and returns one
 :class:`~repro.analysis.histograms.MissRatioHistogram` per scheme plus the
 pathological-stride fractions.
+
+The sweep runs on either simulation engine: ``engine="reference"`` replays
+:class:`~repro.trace.record.MemoryAccess` objects through the scalar cache
+model, ``engine="vectorized"`` synthesises the strided addresses directly as
+NumPy arrays and drives the batch engine
+(:class:`~repro.engine.batch_cache.BatchSetAssociativeCache`) — bit-exact,
+an order of magnitude faster, and therefore the path of choice for the full
+4096-stride sweep.  ``workers`` additionally fans the (scheme, stride) grid
+across a process pool via :func:`repro.engine.sweep.run_sweep`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.histograms import MissRatioHistogram
+from ..core.index import make_index_function
+from ..engine import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    AddressBatch,
+    BatchSetAssociativeCache,
+    check_engine,
+    run_sweep,
+)
+from ..trace.batching import strided_vector_arrays
 from ..trace.generators import strided_vector
 from .config import INDEX_SCHEMES, PAPER_L1_8KB, CacheGeometry, build_cache
 
@@ -58,15 +77,30 @@ class Figure1Result:
 def stride_miss_ratio(scheme: str, stride: int,
                       geometry: CacheGeometry = PAPER_L1_8KB,
                       elements: int = 64, element_size: int = 8,
-                      sweeps: int = 8, address_bits: int = 19) -> float:
+                      sweeps: int = 8, address_bits: int = 19,
+                      engine: str = ENGINE_REFERENCE) -> float:
     """Miss ratio of one (scheme, stride) pair under the Figure 1 workload.
 
     ``sweeps`` controls how many times the vector is traversed; the first
     sweep's compulsory misses are amortised over the rest, as in the paper's
-    "repeated accesses".
+    "repeated accesses".  ``engine`` picks the scalar reference model or the
+    bit-exact batch engine.
     """
     if stride < 1:
         raise ValueError("stride must be at least 1")
+    engine = check_engine(engine)
+    if engine == ENGINE_VECTORIZED:
+        addresses, writes = strided_vector_arrays(
+            stride, elements=elements, element_size=element_size, sweeps=sweeps)
+        batch = AddressBatch.from_arrays(addresses, writes)
+        index_fn = make_index_function(scheme, num_sets=geometry.num_sets,
+                                       ways=geometry.ways,
+                                       address_bits=address_bits)
+        cache = BatchSetAssociativeCache(
+            size_bytes=geometry.size_bytes, block_size=geometry.block_size,
+            ways=geometry.ways, index_function=index_fn)
+        cache.run(batch)
+        return cache.stats.miss_ratio
     cache = build_cache(geometry, scheme, address_bits=address_bits)
     for access in strided_vector(stride, elements=elements,
                                  element_size=element_size, sweeps=sweeps):
@@ -74,11 +108,27 @@ def stride_miss_ratio(scheme: str, stride: int,
     return cache.stats.miss_ratio
 
 
+#: One (scheme, stride) work item of the sweep, with everything a worker
+#: process needs to rebuild the simulation.
+_SweepTask = Tuple[str, int, CacheGeometry, int, int, int, str]
+
+
+def _stride_task(task: _SweepTask) -> float:
+    """Module-level sweep worker (must be picklable for process pools)."""
+    scheme, stride, geometry, elements, sweeps, address_bits, engine = task
+    return stride_miss_ratio(scheme, stride, geometry=geometry,
+                             elements=elements, sweeps=sweeps,
+                             address_bits=address_bits, engine=engine)
+
+
 def run_figure1(max_stride: int = 4096,
                 schemes: Optional[Sequence[str]] = None,
                 geometry: CacheGeometry = PAPER_L1_8KB,
                 elements: int = 64, sweeps: int = 8,
-                stride_step: int = 1) -> Figure1Result:
+                stride_step: int = 1,
+                engine: str = ENGINE_REFERENCE,
+                workers: Optional[int] = None,
+                address_bits: int = 19) -> Figure1Result:
     """Run the Figure 1 stride sweep.
 
     Parameters
@@ -90,23 +140,33 @@ def run_figure1(max_stride: int = 4096,
     stride_step:
         Evaluate every ``stride_step``-th stride — useful to subsample the
         sweep in quick runs while keeping full coverage in the benchmark.
+    engine:
+        ``"reference"`` (scalar models) or ``"vectorized"`` (batch engine;
+        bit-exact, much faster).
+    workers:
+        Fan the (scheme, stride) grid across this many worker processes;
+        ``None`` or 1 runs serially.
     """
     if max_stride < 2:
         raise ValueError("max_stride must be at least 2")
     if stride_step < 1:
         raise ValueError("stride_step must be positive")
+    engine = check_engine(engine)
     schemes = list(schemes) if schemes is not None else list(INDEX_SCHEMES)
 
     strides = range(1, max_stride, stride_step)
     result = Figure1Result(geometry=geometry, strides=len(strides))
-    for scheme in schemes:
+    tasks: List[_SweepTask] = [
+        (scheme, stride, geometry, elements, sweeps, address_bits, engine)
+        for scheme in schemes for stride in strides
+    ]
+    ratios_flat = run_sweep(_stride_task, tasks, workers=workers)
+    per_scheme = len(strides)
+    for position, scheme in enumerate(schemes):
         histogram = MissRatioHistogram(label=scheme)
-        ratios: List[float] = []
-        for stride in strides:
-            ratio = stride_miss_ratio(scheme, stride, geometry=geometry,
-                                      elements=elements, sweeps=sweeps)
-            ratios.append(ratio)
+        ratios = ratios_flat[position * per_scheme:(position + 1) * per_scheme]
+        for ratio in ratios:
             histogram.add(ratio)
         result.histograms[scheme] = histogram
-        result.miss_ratios[scheme] = ratios
+        result.miss_ratios[scheme] = list(ratios)
     return result

@@ -13,6 +13,14 @@ fully-associative, victim and column-associative are all available) and
 reports per-program and suite-average miss ratios, so the ordering
 ``conventional > I-Poly >= fully-associative`` — and the near-equality of the
 last two — can be checked.
+
+The study runs on either simulation engine: ``engine="reference"`` replays
+the generator trace through every scalar cache model; ``engine="vectorized"``
+materialises each program's trace *once* into NumPy arrays and drives the
+batch engine for every organisation it covers (set-associative in all four
+index families, fully-associative, column-associative), replaying the same
+arrays through the scalar model for organisations without a batch kernel
+(the victim cache).  Both paths produce identical miss ratios.
 """
 
 from __future__ import annotations
@@ -25,10 +33,25 @@ from ..analysis.reporting import TableBuilder
 from ..cache.column_assoc import ColumnAssociativeCache
 from ..cache.fully_assoc import FullyAssociativeCache
 from ..cache.victim import VictimCache
+from ..core.index import SingleSetIndexing, make_index_function
+from ..engine import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    AddressBatch,
+    BatchColumnAssociativeCache,
+    BatchSetAssociativeCache,
+    check_engine,
+    materialise_batch,
+)
 from ..trace.workloads import build_trace, workload_names
 from .config import PAPER_HASH_BITS, PAPER_L1_8KB, CacheGeometry, build_cache
 
-__all__ = ["MissRatioStudyResult", "default_organisations", "run_miss_ratio_study"]
+__all__ = [
+    "MissRatioStudyResult",
+    "default_organisations",
+    "default_batch_organisations",
+    "run_miss_ratio_study",
+]
 
 
 @dataclass
@@ -72,6 +95,64 @@ class MissRatioStudyResult:
         return self.table().render(title="Load miss ratio (%) by cache organisation")
 
 
+#: The organisations of the Section 2.1 comparison, as (label, kind, params)
+#: rows consumed by *both* engines' factory tables — one source of truth, so
+#: the reference and vectorized studies can never drift apart structurally.
+_ORGANISATION_SPECS = (
+    ("conventional-2way", "set-assoc", {"scheme": "a2"}),
+    ("skewed-xor-2way", "set-assoc", {"scheme": "a2-Hx-Sk"}),
+    ("ipoly-2way", "set-assoc", {"scheme": "a2-Hp"}),
+    ("ipoly-skewed-2way", "set-assoc", {"scheme": "a2-Hp-Sk"}),
+    ("fully-associative", "fully-assoc", {}),
+    ("victim-direct+8", "victim", {"ways": 1, "victim_entries": 8}),
+    ("column-assoc-ipoly", "column-assoc", {}),
+)
+
+
+def _scalar_factory(kind: str, params: Dict, geometry: CacheGeometry) -> Callable:
+    if kind == "set-assoc":
+        return lambda: build_cache(geometry, params["scheme"],
+                                   address_bits=PAPER_HASH_BITS)
+    if kind == "fully-assoc":
+        return lambda: FullyAssociativeCache(geometry.size_bytes,
+                                             geometry.block_size)
+    if kind == "victim":
+        return lambda: VictimCache(geometry.size_bytes, geometry.block_size,
+                                   ways=params["ways"],
+                                   victim_entries=params["victim_entries"])
+    if kind == "column-assoc":
+        return lambda: ColumnAssociativeCache(
+            geometry.size_bytes, geometry.block_size,
+            address_bits=PAPER_HASH_BITS)
+    raise ValueError(f"unknown organisation kind {kind!r}")  # pragma: no cover
+
+
+def _batch_factory(kind: str, params: Dict, geometry: CacheGeometry) -> Callable:
+    if kind == "set-assoc":
+        def make() -> BatchSetAssociativeCache:
+            index_fn = make_index_function(params["scheme"],
+                                           num_sets=geometry.num_sets,
+                                           ways=geometry.ways,
+                                           address_bits=PAPER_HASH_BITS)
+            return BatchSetAssociativeCache(
+                size_bytes=geometry.size_bytes,
+                block_size=geometry.block_size,
+                ways=geometry.ways, index_function=index_fn)
+        return make
+    if kind == "fully-assoc":
+        return lambda: BatchSetAssociativeCache(
+            geometry.size_bytes, geometry.block_size,
+            ways=geometry.size_bytes // geometry.block_size,
+            index_function=SingleSetIndexing())
+    if kind == "column-assoc":
+        return lambda: BatchColumnAssociativeCache(
+            geometry.size_bytes, geometry.block_size,
+            address_bits=PAPER_HASH_BITS)
+    # No batch kernel (victim cache): the study replays the materialised
+    # arrays through the scalar model.
+    return _scalar_factory(kind, params, geometry)
+
+
 def default_organisations(geometry: CacheGeometry = PAPER_L1_8KB) -> Dict[str, Callable]:
     """Factories for the organisations compared in the Section 2.1 summary.
 
@@ -79,42 +160,71 @@ def default_organisations(geometry: CacheGeometry = PAPER_L1_8KB) -> Dict[str, C
     cache.  Callers can extend the mapping with victim or column-associative
     organisations (both available in :mod:`repro.cache`) for wider studies.
     """
-    return {
-        "conventional-2way": lambda: build_cache(geometry, "a2"),
-        "skewed-xor-2way": lambda: build_cache(geometry, "a2-Hx-Sk"),
-        "ipoly-2way": lambda: build_cache(geometry, "a2-Hp",
-                                          address_bits=PAPER_HASH_BITS),
-        "ipoly-skewed-2way": lambda: build_cache(geometry, "a2-Hp-Sk",
-                                                 address_bits=PAPER_HASH_BITS),
-        "fully-associative": lambda: FullyAssociativeCache(geometry.size_bytes,
-                                                           geometry.block_size),
-        "victim-direct+8": lambda: VictimCache(geometry.size_bytes,
-                                               geometry.block_size,
-                                               ways=1, victim_entries=8),
-        "column-assoc-ipoly": lambda: ColumnAssociativeCache(
-            geometry.size_bytes, geometry.block_size,
-            address_bits=PAPER_HASH_BITS),
-    }
+    return {label: _scalar_factory(kind, params, geometry)
+            for label, kind, params in _ORGANISATION_SPECS}
+
+
+def default_batch_organisations(
+        geometry: CacheGeometry = PAPER_L1_8KB) -> Dict[str, Callable]:
+    """Batch-engine counterparts of :func:`default_organisations`.
+
+    Built from the same :data:`_ORGANISATION_SPECS` rows, so labels and
+    parameters can never diverge between engines.  The victim cache has no
+    batch kernel; its factory builds the scalar model and the study replays
+    the materialised arrays through it.
+    """
+    return {label: _batch_factory(kind, params, geometry)
+            for label, kind, params in _ORGANISATION_SPECS}
+
+
+def _replay_batch(cache, batch: AddressBatch) -> None:
+    """Drive a cache with a batch: native `.run` or scalar replay fallback."""
+    if hasattr(cache, "run"):
+        cache.run(batch)
+        return
+    access = cache.access
+    for address, is_write in zip(batch.addresses.tolist(),
+                                 batch.is_write.tolist()):
+        access(address, is_write=is_write)
 
 
 def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
                          accesses: int = 40_000,
                          organisations: Optional[Mapping[str, Callable]] = None,
-                         seed: int = 12345) -> MissRatioStudyResult:
-    """Replay the workload suite through every organisation and collect miss ratios."""
+                         seed: int = 12345,
+                         engine: str = ENGINE_REFERENCE) -> MissRatioStudyResult:
+    """Replay the workload suite through every organisation and collect miss ratios.
+
+    ``engine="vectorized"`` materialises each program's trace once and runs
+    the batch engine (scalar replay for organisations without a batch
+    kernel); a caller-supplied ``organisations`` mapping is honoured on both
+    engines — batch caches expose ``run``, anything else is replayed.
+    """
     if accesses < 1_000:
         raise ValueError("accesses should be at least 1000 for stable ratios")
+    engine = check_engine(engine)
     program_list = list(programs) if programs is not None else workload_names()
-    organisation_map = (dict(organisations) if organisations is not None
-                        else default_organisations())
+    if organisations is not None:
+        organisation_map = dict(organisations)
+    elif engine == ENGINE_VECTORIZED:
+        organisation_map = default_batch_organisations()
+    else:
+        organisation_map = default_organisations()
 
     result = MissRatioStudyResult(accesses_per_program=accesses)
     for name in program_list:
         per_org: Dict[str, float] = {}
-        for label, factory in organisation_map.items():
-            cache = factory()
-            for access in build_trace(name, length=accesses, seed=seed):
-                cache.access(access.address, is_write=access.is_write)
-            per_org[label] = 100.0 * cache.stats.load_miss_ratio
+        if engine == ENGINE_VECTORIZED:
+            batch = materialise_batch(build_trace(name, length=accesses, seed=seed))
+            for label, factory in organisation_map.items():
+                cache = factory()
+                _replay_batch(cache, batch)
+                per_org[label] = 100.0 * cache.stats.load_miss_ratio
+        else:
+            for label, factory in organisation_map.items():
+                cache = factory()
+                for access in build_trace(name, length=accesses, seed=seed):
+                    cache.access(access.address, is_write=access.is_write)
+                per_org[label] = 100.0 * cache.stats.load_miss_ratio
         result.miss_ratios[name] = per_org
     return result

@@ -116,16 +116,25 @@ class Table2Result:
 def run_table2(programs: Optional[Sequence[str]] = None,
                instructions: int = 30_000,
                configurations: Optional[Mapping[str, dict]] = None,
-               seed: int = 2027) -> Table2Result:
+               seed: int = 2027,
+               engine: str = "reference") -> Table2Result:
     """Simulate every (program, configuration) pair of Table 2.
 
     ``instructions`` scales the per-program run length; the paper simulates
     100 M committed instructions per benchmark, which is far beyond what a
     pure-Python model can afford, but the synthetic programs reach their
     steady-state behaviour within a few tens of thousands of instructions.
+
+    The processor pipeline is inherently sequential, so ``engine`` does not
+    change *what* is simulated: ``"vectorized"`` swaps the I-Poly placement
+    function for the engine's table-accelerated, bit-exact equivalent
+    (:class:`~repro.engine.tabulated.TabulatedIPolyIndexing`), producing
+    identical IPCs and miss ratios faster.
     """
     if instructions < 1_000:
         raise ValueError("instructions should be at least 1000 for stable results")
+    from ..engine import check_engine
+    engine = check_engine(engine)
     program_list = list(programs) if programs is not None else program_names()
     config_map = dict(configurations) if configurations is not None else dict(TABLE2_CONFIGS)
 
@@ -133,7 +142,9 @@ def run_table2(programs: Optional[Sequence[str]] = None,
     for name in program_list:
         per_config: Dict[str, SimulationResult] = {}
         for label, overrides in config_map.items():
-            processor = OutOfOrderProcessor(ProcessorConfig(**overrides))
+            merged = dict(overrides)
+            merged.setdefault("index_engine", engine)
+            processor = OutOfOrderProcessor(ProcessorConfig(**merged))
             program = build_program(name, length=instructions, seed=seed)
             per_config[label] = processor.run(program)
         result.results[name] = per_config

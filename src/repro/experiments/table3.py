@@ -119,13 +119,16 @@ class Table3Result:
 
 def run_table3(instructions: int = 30_000,
                table2_result: Optional[Table2Result] = None,
-               seed: int = 2027) -> Table3Result:
+               seed: int = 2027,
+               engine: str = "reference") -> Table3Result:
     """Run (or reuse) the underlying simulations and build the Table 3 view.
 
     When ``table2_result`` is provided it must contain at least the three
     high-conflict programs; otherwise the full 18-program Table 2 experiment
-    is run first.
+    is run first.  ``engine`` is forwarded to :func:`run_table2` (the
+    vectorized engine accelerates the I-Poly index computation bit-exactly).
     """
     if table2_result is None:
-        table2_result = run_table2(instructions=instructions, seed=seed)
+        table2_result = run_table2(instructions=instructions, seed=seed,
+                                   engine=engine)
     return Table3Result(table2=table2_result)

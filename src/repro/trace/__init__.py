@@ -1,4 +1,9 @@
-"""Address traces: records, synthetic generators, workload models and I/O."""
+"""Address traces: records, synthetic generators, workload models and I/O.
+
+NumPy materialization lives in :mod:`repro.trace.batching`; it is deliberately
+*not* imported here so that the scalar reference path (this package, the cache
+models and the cpu simulator) stays importable without NumPy.
+"""
 
 from .generators import (
     interleave,

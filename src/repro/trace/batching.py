@@ -1,0 +1,63 @@
+"""Materialising traces into NumPy arrays for the batch engine.
+
+The generators in :mod:`repro.trace.generators` yield
+:class:`~repro.trace.record.MemoryAccess` objects lazily; the batch engine
+wants plain address / store-mask arrays.  :func:`to_arrays` converts any
+trace, and the ``*_arrays`` builders below synthesise the hottest workloads
+directly as arrays — no per-access object is ever created, which matters when
+a sweep needs millions of references per configuration.
+
+Array builders are bit-exact with their generator counterparts (asserted in
+``tests/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from .record import MemoryAccess
+
+__all__ = ["to_arrays", "strided_vector_arrays"]
+
+
+def to_arrays(trace: Iterable[MemoryAccess]) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialise a trace into ``(addresses, is_write)`` NumPy arrays.
+
+    ``addresses`` is ``uint64``, ``is_write`` is ``bool``; both have one
+    entry per access, in trace order.
+    """
+    addresses = []
+    writes = []
+    for access in trace:
+        addresses.append(access.address)
+        writes.append(access.is_write)
+    if not addresses:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=bool)
+    return (np.array(addresses, dtype=np.uint64),
+            np.array(writes, dtype=bool))
+
+
+def strided_vector_arrays(
+    stride: int,
+    elements: int = 64,
+    element_size: int = 8,
+    sweeps: int = 4,
+    base: int = 0,
+    is_write: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Array-native :func:`~repro.trace.generators.strided_vector`.
+
+    Returns the same address sequence as the generator (Figure 1's repeated
+    strided sweeps) without constructing any :class:`MemoryAccess` objects.
+    """
+    if stride < 1:
+        raise ValueError("stride must be at least 1")
+    if elements < 1 or sweeps < 1:
+        raise ValueError("elements and sweeps must be positive")
+    step = stride * element_size
+    one_sweep = np.uint64(base) + np.arange(elements, dtype=np.uint64) * np.uint64(step)
+    addresses = np.tile(one_sweep, sweeps)
+    writes = np.full(addresses.shape[0], bool(is_write), dtype=bool)
+    return addresses, writes

@@ -1,0 +1,229 @@
+"""Differential tests: the batch engine against the scalar reference models.
+
+For every index-function family and every cache organisation the engine
+supports, identical traces are run through the scalar one-access-at-a-time
+model and through the vectorized batch engine, and the *entire* behaviour is
+compared: the per-access hit/miss sequence, the final
+:class:`~repro.cache.stats.CacheStats` (all counters, including evictions,
+writebacks and the 3C classification), and the final set of resident blocks.
+
+The small configurations run in tier-1; the deep sweeps (longer traces, more
+geometry combinations) are marked ``slow`` and run with ``pytest -m slow``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.column_assoc import ColumnAssociativeCache
+from repro.cache.fully_assoc import FullyAssociativeCache
+from repro.cache.set_assoc import SetAssociativeCache, WritePolicy
+from repro.core.index import SingleSetIndexing, make_index_function
+from repro.engine import (
+    AddressBatch,
+    BatchColumnAssociativeCache,
+    BatchSetAssociativeCache,
+)
+from repro.trace.batching import strided_vector_arrays, to_arrays
+from repro.trace.generators import (
+    multi_array_sweep,
+    random_accesses,
+    strided_vector,
+    tiled_matrix_multiply,
+)
+
+#: The paper's four index families plus the prime-modulus baseline.
+FAMILIES = ["a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk", "a2-prime"]
+
+#: Trace builders exercised by the differential suite (name -> factory).
+TRACES = {
+    "strided": lambda: strided_vector(17, elements=64, sweeps=6),
+    "strided-pathological": lambda: strided_vector(2048, elements=64, sweeps=6),
+    "multi-array": lambda: multi_array_sweep(num_arrays=4, elements=400, sweeps=2),
+    "tiled-matmul": lambda: tiled_matrix_multiply(n=20, tile=8),
+    "random": lambda: random_accesses(5000, 64 * 1024, write_fraction=0.3),
+}
+
+
+def stats_snapshot(stats):
+    """All comparable counters of a CacheStats as a plain dict."""
+    return {
+        "loads": stats.loads,
+        "stores": stats.stores,
+        "load_misses": stats.load_misses,
+        "store_misses": stats.store_misses,
+        "evictions": stats.evictions,
+        "writebacks": stats.writebacks,
+        "invalidations": stats.invalidations,
+        "miss_kinds": dict(stats.miss_kinds),
+    }
+
+
+def scalar_hit_sequence(cache, trace):
+    return np.array([cache.access(a.address, a.is_write).hit for a in trace],
+                    dtype=bool)
+
+
+def batch_of(trace):
+    return AddressBatch.from_arrays(*to_arrays(trace))
+
+
+def build_pair(scheme, ways=2, size=8192, block=32,
+               write_policy=WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+               classify=False):
+    """A (scalar, batch) cache pair with identical configuration."""
+    num_sets = size // (block * ways)
+    scalar = SetAssociativeCache(
+        size, block, ways,
+        index_function=make_index_function(scheme, num_sets, ways=ways,
+                                           address_bits=19),
+        write_policy=write_policy, classify_misses=classify)
+    batch = BatchSetAssociativeCache(
+        size, block, ways,
+        index_function=make_index_function(scheme, num_sets, ways=ways,
+                                           address_bits=19),
+        write_policy=write_policy, classify_misses=classify)
+    return scalar, batch
+
+
+def assert_equivalent(scalar, batch_cache, trace):
+    trace = list(trace)
+    ref_hits = scalar_hit_sequence(scalar, trace)
+    vec_hits = batch_cache.run(batch_of(trace))
+    np.testing.assert_array_equal(ref_hits, vec_hits)
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch_cache.stats)
+    assert sorted(scalar.resident_blocks()) == sorted(batch_cache.resident_blocks())
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+@pytest.mark.parametrize("scheme", FAMILIES)
+class TestSetAssociativeEquivalence:
+    def test_write_through(self, scheme, trace_name):
+        scalar, batch = build_pair(scheme)
+        assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+    def test_write_back(self, scheme, trace_name):
+        scalar, batch = build_pair(
+            scheme, write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+    def test_with_3c_classifier(self, scheme, trace_name):
+        scalar, batch = build_pair(scheme, classify=True)
+        assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+def test_direct_mapped_equivalence(trace_name):
+    scalar, batch = build_pair("a2", ways=1)
+    assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+def test_four_way_skewed_equivalence(trace_name):
+    scalar, batch = build_pair("a2-Hp-Sk", ways=4)
+    assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+def test_fully_associative_equivalence(trace_name):
+    scalar = FullyAssociativeCache(2048, 32)
+    batch = BatchSetAssociativeCache(2048, 32, ways=2048 // 32,
+                                     index_function=SingleSetIndexing())
+    assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+
+@pytest.mark.parametrize("swap", [True, False])
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+def test_column_associative_equivalence(trace_name, swap):
+    trace = list(TRACES[trace_name]())
+    scalar = ColumnAssociativeCache(8192, 32, address_bits=19,
+                                    swap_on_rehash_hit=swap,
+                                    classify_misses=True)
+    batch = BatchColumnAssociativeCache(8192, 32, address_bits=19,
+                                        swap_on_rehash_hit=swap,
+                                        classify_misses=True)
+    ref_hits = scalar_hit_sequence(scalar, trace)
+    vec_hits = batch.run(batch_of(trace))
+    np.testing.assert_array_equal(ref_hits, vec_hits)
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+    assert scalar.first_probe_hits == batch.first_probe_hits
+    assert scalar.second_probe_hits == batch.second_probe_hits
+    assert scalar.total_probes == batch.total_probes
+    assert scalar.first_probe_hit_ratio == batch.first_probe_hit_ratio
+    assert scalar.average_probes == batch.average_probes
+
+
+def test_warm_cache_continuity():
+    """A vectorized cold run followed by a warm run stays bit-exact.
+
+    The first (load-only) batch takes the fully vectorized path, which must
+    reconstruct the LRU state it leaves behind; the second (store-carrying)
+    batch continues in the tight kernel from that state.
+    """
+    scalar, batch = build_pair("a2")
+    first = list(strided_vector(512, elements=64, sweeps=3))
+    second = list(random_accesses(3000, 32 * 1024, write_fraction=0.4))
+    ref_hits = scalar_hit_sequence(scalar, first + second)
+    vec_hits = np.concatenate([batch.run(batch_of(first)),
+                               batch.run(batch_of(second))])
+    np.testing.assert_array_equal(ref_hits, vec_hits)
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+    assert sorted(scalar.resident_blocks()) == sorted(batch.resident_blocks())
+
+
+def test_strided_vector_arrays_match_generator():
+    for stride in (1, 17, 128, 2048):
+        addresses, writes = strided_vector_arrays(stride, elements=64, sweeps=3)
+        expected = [a.address for a in strided_vector(stride, elements=64, sweeps=3)]
+        assert addresses.tolist() == expected
+        assert not writes.any()
+
+
+def test_engine_rejects_negative_addresses():
+    with pytest.raises(ValueError):
+        AddressBatch.from_arrays(np.array([0, -1], dtype=np.int64))
+
+
+def test_engine_rejects_out_of_range_addresses():
+    with pytest.raises(ValueError):
+        AddressBatch.from_arrays(np.array([1 << 63], dtype=np.uint64))
+    with pytest.raises(ValueError):
+        AddressBatch.from_arrays([0, 1 << 70])
+
+
+def test_engine_rejects_unsupported_replacement_via_scalar_parity():
+    """Both engines reject the same malformed geometries the same way."""
+    with pytest.raises(ValueError):
+        BatchSetAssociativeCache(8192, 48, 2)  # non-power-of-two block
+    with pytest.raises(ValueError):
+        BatchSetAssociativeCache(8192 + 32, 32, 2)  # not a multiple of set size
+    with pytest.raises(ValueError):
+        BatchSetAssociativeCache(8192, 32, 2, write_policy="bogus")
+
+
+# --------------------------------------------------------------------- #
+# deep sweeps — `pytest -m slow`
+# --------------------------------------------------------------------- #
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheme", FAMILIES)
+@pytest.mark.parametrize("ways", [1, 2, 4])
+@pytest.mark.parametrize("write_policy", list(WritePolicy.ALL))
+def test_deep_equivalence_grid(scheme, ways, write_policy):
+    scalar, batch = build_pair(scheme, ways=ways, write_policy=write_policy,
+                               classify=True)
+    trace = list(random_accesses(40_000, 256 * 1024, write_fraction=0.25,
+                                 seed=sum(map(ord, scheme)) + ways))
+    assert_equivalent(scalar, batch, trace)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scheme", ["a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"])
+def test_deep_strided_sweep(scheme):
+    """Every stride in a dense range agrees between the engines."""
+    for stride in range(1, 257, 5):
+        scalar, batch = build_pair(scheme)
+        trace = list(strided_vector(stride, elements=64, sweeps=8))
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        vec_hits = batch.run(batch_of(trace))
+        assert np.array_equal(ref_hits, vec_hits), stride
+        assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats), stride

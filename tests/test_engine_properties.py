@@ -1,0 +1,168 @@
+"""Hypothesis property tests for the vectorized engine.
+
+Random address batches, random power-of-two geometries and random polynomial
+choices: the vectorized index functions must agree element-wise with the
+scalar :mod:`repro.core.index` implementations, the tabulated I-Poly lookup
+must agree with :func:`repro.core.gf2.gf2_mod`, and the batch cache must
+agree with the scalar cache on arbitrary random traces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set_assoc import SetAssociativeCache, WritePolicy
+from repro.core.gf2 import gf2_mod, irreducible_polynomials
+from repro.core.index import (
+    BitSelectIndexing,
+    IPolyIndexing,
+    PrimeModuloIndexing,
+    XorFoldIndexing,
+    make_index_function,
+)
+from repro.engine import (
+    AddressBatch,
+    BatchSetAssociativeCache,
+    TabulatedIPolyIndexing,
+    vectorize_index,
+)
+
+#: Block numbers cover the full 40-bit range the experiments ever touch.
+blocks_arrays = st.lists(st.integers(min_value=0, max_value=(1 << 40) - 1),
+                         min_size=1, max_size=200)
+index_bits = st.integers(min_value=1, max_value=12)
+ways_strategy = st.integers(min_value=1, max_value=4)
+
+
+def _scalar_indices(fn, blocks, way):
+    return [fn.index(b, way) for b in blocks]
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=blocks_arrays, m=index_bits, way=st.integers(0, 3))
+def test_bit_select_elementwise(blocks, m, way):
+    fn = BitSelectIndexing(1 << m)
+    vec = vectorize_index(fn)
+    result = vec.way_indices(np.array(blocks, dtype=np.uint64), way)
+    assert result.tolist() == _scalar_indices(fn, blocks, way)
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=blocks_arrays, m=index_bits, way=st.integers(0, 5),
+       skewed=st.booleans())
+def test_xor_fold_elementwise(blocks, m, way, skewed):
+    fn = XorFoldIndexing(1 << m, skewed=skewed)
+    vec = vectorize_index(fn)
+    result = vec.way_indices(np.array(blocks, dtype=np.uint64), way)
+    assert result.tolist() == _scalar_indices(fn, blocks, way)
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=blocks_arrays, m=st.integers(2, 10))
+def test_prime_modulo_elementwise(blocks, m):
+    fn = PrimeModuloIndexing(1 << m)
+    vec = vectorize_index(fn)
+    result = vec.way_indices(np.array(blocks, dtype=np.uint64), 0)
+    assert result.tolist() == _scalar_indices(fn, blocks, 0)
+
+
+@st.composite
+def ipoly_configs(draw):
+    """A random I-Poly geometry with a random valid polynomial choice."""
+    m = draw(st.integers(min_value=2, max_value=10))
+    ways = draw(st.integers(min_value=1, max_value=3))
+    skewed = draw(st.booleans())
+    address_bits = draw(st.integers(min_value=m, max_value=24))
+    candidates = list(irreducible_polynomials(m))
+    if skewed and len(candidates) >= ways:
+        polys = draw(st.permutations(candidates).map(lambda p: list(p)[:ways]))
+    else:
+        polys = [draw(st.sampled_from(candidates))]
+        skewed = False
+    return m, ways, skewed, address_bits, polys
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=blocks_arrays, config=ipoly_configs(), way=st.integers(0, 2))
+def test_ipoly_elementwise(blocks, config, way):
+    m, ways, skewed, address_bits, polys = config
+    fn = IPolyIndexing(1 << m, ways=ways, skewed=skewed,
+                       address_bits=address_bits, polynomials=polys)
+    vec = vectorize_index(fn)
+    result = vec.way_indices(np.array(blocks, dtype=np.uint64), way)
+    assert result.tolist() == _scalar_indices(fn, blocks, way)
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=blocks_arrays, config=ipoly_configs(), way=st.integers(0, 2))
+def test_tabulated_ipoly_matches_gf2_mod(blocks, config, way):
+    m, ways, skewed, address_bits, polys = config
+    fast = TabulatedIPolyIndexing(1 << m, ways=ways, skewed=skewed,
+                                  address_bits=address_bits, polynomials=polys)
+    mask = (1 << address_bits) - 1
+    for block in blocks:
+        expected = gf2_mod(block & mask, fast.polynomial_for_way(way))
+        assert fast.index(block, way) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, (1 << 20) - 1), min_size=1, max_size=300),
+    writes=st.data(),
+    m=st.integers(2, 6),
+    ways=ways_strategy,
+    scheme=st.sampled_from(["a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"]),
+    write_back=st.booleans(),
+)
+def test_batch_cache_matches_scalar_on_random_traces(
+        addresses, writes, m, ways, scheme, write_back):
+    num_sets = 1 << m
+    block = 16
+    size = num_sets * block * ways
+    is_write = writes.draw(st.lists(st.booleans(),
+                                    min_size=len(addresses),
+                                    max_size=len(addresses)))
+    policy = (WritePolicy.WRITE_BACK_ALLOCATE if write_back
+              else WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+    try:
+        make_index_function(scheme, num_sets, ways=ways, address_bits=19)
+    except ValueError:
+        # Tiny degrees do not have enough distinct irreducible polynomials
+        # for the requested skew — not a valid cache configuration.
+        assume(False)
+    scalar = SetAssociativeCache(
+        size, block, ways,
+        index_function=make_index_function(scheme, num_sets, ways=ways,
+                                           address_bits=19),
+        write_policy=policy)
+    batch = BatchSetAssociativeCache(
+        size, block, ways,
+        index_function=make_index_function(scheme, num_sets, ways=ways,
+                                           address_bits=19),
+        write_policy=policy)
+    ref_hits = [scalar.access(a, w).hit for a, w in zip(addresses, is_write)]
+    vec_hits = batch.run(AddressBatch.from_arrays(
+        np.array(addresses, dtype=np.uint64), np.array(is_write, dtype=bool)))
+    assert vec_hits.tolist() == ref_hits
+    assert scalar.stats.loads == batch.stats.loads
+    assert scalar.stats.stores == batch.stats.stores
+    assert scalar.stats.load_misses == batch.stats.load_misses
+    assert scalar.stats.store_misses == batch.stats.store_misses
+    assert scalar.stats.evictions == batch.stats.evictions
+    assert scalar.stats.writebacks == batch.stats.writebacks
+    assert sorted(scalar.resident_blocks()) == sorted(batch.resident_blocks())
+
+
+@settings(max_examples=60, deadline=None)
+@given(blocks=st.lists(st.integers(-(1 << 70), (1 << 70)), min_size=1,
+                       max_size=50))
+def test_batch_validation_never_wraps(blocks):
+    """Negative or oversized inputs either raise or round-trip exactly."""
+    in_range = all(0 <= b < (1 << 63) for b in blocks)
+    if in_range:
+        batch = AddressBatch.from_arrays(blocks)
+        assert batch.addresses.tolist() == blocks
+    else:
+        with pytest.raises(ValueError):
+            AddressBatch.from_arrays(blocks)

@@ -1,0 +1,58 @@
+"""Golden regression fixtures: both engines must reproduce the seed numbers.
+
+``tests/golden/`` holds small JSON snapshots of the Figure 1 stride sweep and
+the Section 2.1 miss-ratio study, generated from the seed's scalar reference
+models.  Any behavioural drift — in either the reference models or the batch
+engine — fails these tests, pinning the paper-facing numbers across future
+refactors.
+
+Miss ratios are exact rationals evaluated in IEEE double precision by both
+engines, so the comparison is equality, not approximation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ENGINES
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.miss_ratio_study import run_miss_ratio_study
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def load_golden(name):
+    with open(GOLDEN_DIR / name) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_figure1_matches_golden(engine):
+    golden = load_golden("figure1_miss_ratios.json")
+    params = golden["params"]
+    result = run_figure1(max_stride=params["max_stride"],
+                         stride_step=params["stride_step"],
+                         sweeps=params["sweeps"],
+                         elements=params["elements"],
+                         engine=engine)
+    assert result.miss_ratios == golden["miss_ratios"]
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_miss_ratio_study_matches_golden(engine):
+    golden = load_golden("miss_ratio_study.json")
+    params = golden["params"]
+    result = run_miss_ratio_study(programs=params["programs"],
+                                  accesses=params["accesses"],
+                                  seed=params["seed"],
+                                  engine=engine)
+    assert result.miss_ratios == golden["miss_ratios"]
+
+
+def test_goldens_are_committed():
+    """The fixtures exist and cover the four Figure 1 schemes."""
+    fig = load_golden("figure1_miss_ratios.json")
+    assert sorted(fig["miss_ratios"]) == ["a2", "a2-Hp", "a2-Hp-Sk", "a2-Hx-Sk"]
+    study = load_golden("miss_ratio_study.json")
+    assert set(study["miss_ratios"]) == set(study["params"]["programs"])
