@@ -12,21 +12,30 @@ Runs under pytest-benchmark::
 
     pytest benchmarks/bench_engine.py --benchmark-only
 
-or standalone, printing a comparison table::
+or standalone, printing a comparison table and writing a machine-readable
+``BENCH_engine.json`` artifact (rows per scheme, plus informational rows for
+the non-LRU replacement kernels and the victim-cache kernel) so the
+performance trajectory can be tracked across PRs::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
 
-``REPRO_BENCH_ENGINE_ACCESSES`` overrides the trace length (default 1M).
+``REPRO_BENCH_ENGINE_ACCESSES`` overrides the trace length (default 1M);
+``REPRO_BENCH_ENGINE_JSON`` overrides the artifact path (empty disables it).
+The >= 10x speedup bound applies to the LRU batch paths; the policy/victim
+kernel rows are tracked but not bounded.
 """
 
+import json
 import os
+import platform
 import time
 
 import pytest
 
 from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.victim import VictimCache
 from repro.core.index import make_index_function
-from repro.engine import AddressBatch, BatchSetAssociativeCache
+from repro.engine import AddressBatch, BatchSetAssociativeCache, BatchVictimCache
 from repro.experiments.config import PAPER_HASH_BITS, PAPER_L1_8KB
 from repro.trace.batching import strided_vector_arrays
 
@@ -57,6 +66,13 @@ def _env_int(name, default):
 
 BENCH_ENGINE_ACCESSES = _env_int("REPRO_BENCH_ENGINE_ACCESSES", 1_000_000)
 
+#: Path of the machine-readable artifact ``main()`` writes (empty disables).
+BENCH_ENGINE_JSON = os.environ.get("REPRO_BENCH_ENGINE_JSON",
+                                   "BENCH_engine.json")
+
+#: Non-LRU replacement policies tracked (informational — no speedup bound).
+POLICY_ROWS = ["fifo", "random", "plru"]
+
 
 def _build_trace(accesses):
     sweeps = max(1, accesses // ELEMENTS)
@@ -65,7 +81,7 @@ def _build_trace(accesses):
     return AddressBatch.from_arrays(addresses, writes)
 
 
-def _make_caches(scheme):
+def _make_caches(scheme, replacement=None):
     geometry = PAPER_L1_8KB
 
     def index_fn():
@@ -74,9 +90,11 @@ def _make_caches(scheme):
                                    address_bits=PAPER_HASH_BITS)
 
     scalar = SetAssociativeCache(geometry.size_bytes, geometry.block_size,
-                                 geometry.ways, index_function=index_fn())
+                                 geometry.ways, index_function=index_fn(),
+                                 replacement=replacement)
     batch = BatchSetAssociativeCache(geometry.size_bytes, geometry.block_size,
-                                     geometry.ways, index_function=index_fn())
+                                     geometry.ways, index_function=index_fn(),
+                                     replacement=replacement)
     return scalar, batch
 
 
@@ -91,10 +109,10 @@ def _run_scalar(scalar, batch_trace):
         access(address, False)
 
 
-def compare_engines(scheme, accesses=BENCH_ENGINE_ACCESSES):
+def compare_engines(scheme, accesses=BENCH_ENGINE_ACCESSES, replacement=None):
     """Time both engines on the same trace; returns a result dict."""
     trace = _build_trace(accesses)
-    scalar, batch = _make_caches(scheme)
+    scalar, batch = _make_caches(scheme, replacement=replacement)
 
     start = time.perf_counter()
     _run_scalar(scalar, trace)
@@ -109,12 +127,67 @@ def compare_engines(scheme, accesses=BENCH_ENGINE_ACCESSES):
     n = len(trace)
     return {
         "scheme": scheme,
+        "replacement": replacement or "lru",
         "accesses": n,
         "scalar_aps": n / scalar_seconds,
         "vector_aps": n / vector_seconds,
         "speedup": scalar_seconds / vector_seconds,
         "miss_ratio": scalar.stats.miss_ratio,
     }
+
+
+def compare_victim_kernel(accesses=BENCH_ENGINE_ACCESSES):
+    """Time the scalar victim cache against the BatchVictimCache kernel."""
+    trace = _build_trace(accesses)
+    geometry = PAPER_L1_8KB
+    scalar = VictimCache(geometry.size_bytes, geometry.block_size,
+                         ways=1, victim_entries=8)
+    batch = BatchVictimCache(geometry.size_bytes, geometry.block_size,
+                             ways=1, victim_entries=8)
+
+    start = time.perf_counter()
+    access = scalar.access
+    for address in trace.addresses.tolist():
+        access(address, False)
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch.run(trace)
+    vector_seconds = time.perf_counter() - start
+
+    assert scalar.stats.load_misses == batch.stats.load_misses, (
+        "victim-cache kernels diverged")
+    assert scalar.victim_hits == batch.victim_hits
+    n = len(trace)
+    return {
+        "scheme": "victim-direct+8",
+        "replacement": "lru",
+        "accesses": n,
+        "scalar_aps": n / scalar_seconds,
+        "vector_aps": n / vector_seconds,
+        "speedup": scalar_seconds / vector_seconds,
+        "miss_ratio": scalar.stats.miss_ratio,
+    }
+
+
+def _write_artifact(rows, path=BENCH_ENGINE_JSON):
+    """Write the machine-readable benchmark artifact consumed across PRs."""
+    if not path:
+        return None
+    artifact = {
+        "benchmark": "bench_engine",
+        "workload": {"elements": ELEMENTS, "stride": STRIDE,
+                     "accesses": BENCH_ENGINE_ACCESSES,
+                     "cache": PAPER_L1_8KB.label},
+        "required_speedup_lru": REQUIRED_SPEEDUP,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+    }
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.mark.benchmark(group="engine")
@@ -151,19 +224,39 @@ def main():
     print(f"strided trace: {ELEMENTS} elements, stride {STRIDE}, "
           f"{BENCH_ENGINE_ACCESSES:,} accesses, "
           f"{PAPER_L1_8KB.label} cache\n")
-    header = (f"{'scheme':10s} {'scalar acc/s':>14s} {'vector acc/s':>14s} "
-              f"{'speedup':>8s} {'miss%':>7s}")
+    header = (f"{'scheme':16s} {'repl':6s} {'scalar acc/s':>14s} "
+              f"{'vector acc/s':>14s} {'speedup':>8s} {'miss%':>7s}")
     print(header)
     print("-" * len(header))
-    for scheme in SCHEMES:
-        row = compare_engines(scheme)
-        print(f"{row['scheme']:10s} {row['scalar_aps']:14,.0f} "
+
+    def show(row):
+        print(f"{row['scheme']:16s} {row['replacement']:6s} "
+              f"{row['scalar_aps']:14,.0f} "
               f"{row['vector_aps']:14,.0f} {row['speedup']:7.1f}x "
               f"{100 * row['miss_ratio']:6.2f}%")
+
+    rows = []
+    for scheme in SCHEMES:
+        row = compare_engines(scheme)
+        rows.append(row)
+        show(row)
         if row["accesses"] >= MIN_ACCESSES_FOR_SPEEDUP_CHECK:
             assert row["speedup"] >= REQUIRED_SPEEDUP, (
                 f"{row['scheme']}: only {row['speedup']:.1f}x")
-    print(f"\nall schemes >= {REQUIRED_SPEEDUP:.0f}x with bit-exact CacheStats")
+    # Informational rows: non-LRU policy kernels and the victim kernel are
+    # tracked in the artifact but carry no speedup bound.
+    for policy in POLICY_ROWS:
+        row = compare_engines("a2-Hp-Sk", replacement=policy)
+        rows.append(row)
+        show(row)
+    row = compare_victim_kernel()
+    rows.append(row)
+    show(row)
+    print(f"\nall LRU schemes >= {REQUIRED_SPEEDUP:.0f}x with bit-exact "
+          f"CacheStats")
+    path = _write_artifact(rows)
+    if path:
+        print(f"wrote {path}")
 
 
 if __name__ == "__main__":

@@ -13,12 +13,17 @@ from .fully_assoc import FullyAssociativeCache
 from .hierarchy import HierarchyAccessResult, TwoLevelHierarchy
 from .mshr import MSHRAllocation, MSHREntry, MSHRFile
 from .replacement import (
+    DEFAULT_RANDOM_SEED,
+    REPLACEMENT_POLICIES,
     FIFOReplacement,
     LRUReplacement,
     RandomReplacement,
     ReplacementPolicy,
     TreePLRUReplacement,
+    clone_replacement,
     make_replacement_policy,
+    replacement_policy_name,
+    resolve_replacement,
 )
 from .set_assoc import AccessResult, SetAssociativeCache, WritePolicy
 from .stats import CacheStats, MissClassifier, MissKind
@@ -47,7 +52,12 @@ __all__ = [
     "FIFOReplacement",
     "RandomReplacement",
     "TreePLRUReplacement",
+    "REPLACEMENT_POLICIES",
+    "DEFAULT_RANDOM_SEED",
     "make_replacement_policy",
+    "replacement_policy_name",
+    "clone_replacement",
+    "resolve_replacement",
     "CacheStats",
     "MissClassifier",
     "MissKind",

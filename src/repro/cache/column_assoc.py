@@ -19,10 +19,11 @@ evaluate the scheme's average hit time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.index import BitSelectIndexing, IndexFunction, IPolyIndexing
 from .block import CacheBlock
+from .replacement import ReplacementPolicy, replacement_policy_name
 from .stats import CacheStats, MissClassifier
 
 __all__ = ["ColumnAssociativeResult", "ColumnAssociativeCache"]
@@ -60,6 +61,14 @@ class ColumnAssociativeCache:
         relies on.
     classify_misses:
         Attach a 3C classifier (see :class:`~repro.cache.stats.MissClassifier`).
+    replacement:
+        Accepted for sweep symmetry with the other organisations and
+        validated against the known policy names, but *behaviourally inert*:
+        a column-associative cache is direct-mapped per probe location, so
+        there is never a victim to choose among — the install-at-primary /
+        displaced-block-retreat rules (driven by the rehash bit) fully
+        determine placement.  This is exactly why the organisation sidesteps
+        the paper's LRU-is-impractical-for-skewed-placement problem.
     """
 
     def __init__(
@@ -71,6 +80,7 @@ class ColumnAssociativeCache:
         swap_on_rehash_hit: bool = True,
         classify_misses: bool = False,
         address_bits: Optional[int] = None,
+        replacement: Union[str, ReplacementPolicy, None] = None,
         name: str = "",
     ) -> None:
         if block_size < 1 or block_size & (block_size - 1):
@@ -91,6 +101,8 @@ class ColumnAssociativeCache:
             if fn.num_sets != num_frames:
                 raise ValueError(f"{label} index covers {fn.num_sets} sets, "
                                  f"cache has {num_frames} frames")
+        # Validate the name even though the policy never gets to choose.
+        self._replacement_name = replacement_policy_name(replacement)
         self._swap = bool(swap_on_rehash_hit)
         self._frames = [CacheBlock() for _ in range(num_frames)]
         self._clock = 0
@@ -116,6 +128,11 @@ class ColumnAssociativeCache:
     def num_frames(self) -> int:
         """Total number of frames (direct-mapped)."""
         return self._num_frames
+
+    @property
+    def replacement_name(self) -> str:
+        """Configured (inert — see class docstring) replacement policy name."""
+        return self._replacement_name
 
     def block_number_of(self, address: int) -> int:
         """Map a byte address to its block number."""

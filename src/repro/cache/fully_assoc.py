@@ -13,7 +13,7 @@ keeps the statistics and write-policy behaviour identical across organisations.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Union
 
 from ..core.index import SingleSetIndexing
 from .replacement import ReplacementPolicy
@@ -29,7 +29,7 @@ class FullyAssociativeCache(SetAssociativeCache):
         self,
         size_bytes: int,
         block_size: int,
-        replacement: Optional[ReplacementPolicy] = None,
+        replacement: Union[str, ReplacementPolicy, None] = None,
         write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
         classify_misses: bool = False,
         name: str = "",

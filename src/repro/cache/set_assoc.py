@@ -16,11 +16,11 @@ write-back / write-allocate (used for L2 and for the victim-cache study).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..core.index import BitSelectIndexing, IndexFunction
 from .block import CacheBlock
-from .replacement import LRUReplacement, ReplacementPolicy
+from .replacement import ReplacementPolicy, resolve_replacement
 from .stats import CacheStats, MissClassifier
 
 __all__ = ["AccessResult", "WritePolicy", "SetAssociativeCache"]
@@ -81,7 +81,11 @@ class SetAssociativeCache:
         Placement function; defaults to conventional bit selection over
         ``size_bytes / (block_size * ways)`` sets.
     replacement:
-        Replacement policy; defaults to LRU.
+        Replacement policy: a short name (``lru``, ``fifo``, ``random``,
+        ``plru``), a :class:`~repro.cache.replacement.ReplacementPolicy`
+        instance, or ``None`` for the paper's default (LRU).  The cache binds
+        the policy to its geometry; policy state lives in the policy's own
+        per-set tables, not in the frames.
     write_policy:
         One of :class:`WritePolicy`; defaults to the paper's L1 policy
         (write-through, no-write-allocate).
@@ -99,7 +103,7 @@ class SetAssociativeCache:
         block_size: int,
         ways: int,
         index_function: Optional[IndexFunction] = None,
-        replacement: Optional[ReplacementPolicy] = None,
+        replacement: Union[str, ReplacementPolicy, None] = None,
         write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
         classify_misses: bool = False,
         name: str = "",
@@ -136,7 +140,8 @@ class SetAssociativeCache:
                 f"cache has {self._num_sets}"
             )
         self._index_fn = index_function
-        self._replacement = replacement if replacement is not None else LRUReplacement()
+        self._replacement = resolve_replacement(replacement)
+        self._replacement.bind(ways, self._num_sets)
         self._write_policy = write_policy
         self._name = name or f"{size_bytes // 1024}KB-{ways}way-{index_function.name}"
 
@@ -193,6 +198,11 @@ class SetAssociativeCache:
         """The configured write policy."""
         return self._write_policy
 
+    @property
+    def replacement(self) -> ReplacementPolicy:
+        """The bound replacement policy."""
+        return self._replacement
+
     def block_number_of(self, address: int) -> int:
         """Map a byte address to its block number."""
         if address < 0:
@@ -243,7 +253,7 @@ class SetAssociativeCache:
             frame.touch(self._clock)
             if is_write and self._write_policy == WritePolicy.WRITE_BACK_ALLOCATE:
                 frame.dirty = True
-            self._replacement.on_access(way, set_index, frame, self._clock)
+            self._replacement.on_hit(way, set_index, self._clock)
             self.stats.record_access(is_write, True)
             return AccessResult(hit=True, block_number=block_number,
                                 way=way, set_index=set_index)
@@ -325,14 +335,11 @@ class SetAssociativeCache:
             frame = self._frames[way][set_index]
             if not frame.valid:
                 frame.fill(block_number, self._clock, dirty=dirty)
-                self._replacement.on_access(way, set_index, frame, self._clock)
+                self._replacement.on_fill(way, set_index, self._clock)
                 return way, set_index, None, False
         # All candidates valid: evict.
-        victim_candidates = [
-            (way, set_index, self._frames[way][set_index])
-            for way, set_index in enumerate(candidates)
-        ]
-        way, set_index = self._replacement.choose_victim(victim_candidates)
+        way, set_index = self._replacement.choose_victim(
+            list(enumerate(candidates)))
         frame = self._frames[way][set_index]
         evicted = frame.block_number
         writeback = frame.dirty
@@ -340,7 +347,7 @@ class SetAssociativeCache:
             self.stats.writebacks += 1
         self.stats.evictions += 1
         frame.fill(block_number, self._clock, dirty=dirty)
-        self._replacement.on_access(way, set_index, frame, self._clock)
+        self._replacement.on_fill(way, set_index, self._clock)
         return way, set_index, evicted, writeback
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -13,10 +13,15 @@ drivers can rank it against the I-Poly organisations at equal total capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.index import IndexFunction
 from .fully_assoc import FullyAssociativeCache
+from .replacement import (
+    ReplacementPolicy,
+    clone_replacement,
+    replacement_policy_name,
+)
 from .set_assoc import AccessResult, SetAssociativeCache, WritePolicy
 from .stats import CacheStats
 
@@ -52,6 +57,12 @@ class VictimCache:
         Number of lines in the victim buffer (classically 4-16).
     index_function:
         Placement function of the main cache (defaults to conventional).
+    replacement:
+        Replacement policy name (``lru``, ``fifo``, ``random``, ``plru``) or
+        a configured policy instance, applied to both structures; each gets
+        its own fresh policy (the main cache over its sets, the victim
+        buffer over its entries) carrying the same configuration.  ``None``
+        means LRU.
     """
 
     def __init__(
@@ -61,20 +72,24 @@ class VictimCache:
         ways: int = 1,
         victim_entries: int = 8,
         index_function: Optional[IndexFunction] = None,
+        replacement: Union[str, ReplacementPolicy, None] = None,
         name: str = "",
     ) -> None:
         if victim_entries < 1:
             raise ValueError("victim_entries must be positive")
+        self._replacement_name = replacement_policy_name(replacement)
         self._main = SetAssociativeCache(
             size_bytes=size_bytes,
             block_size=block_size,
             ways=ways,
             index_function=index_function,
+            replacement=clone_replacement(replacement),
             write_policy=WritePolicy.WRITE_BACK_ALLOCATE,
         )
         self._victim = FullyAssociativeCache(
             size_bytes=victim_entries * block_size,
             block_size=block_size,
+            replacement=clone_replacement(replacement),
             write_policy=WritePolicy.WRITE_BACK_ALLOCATE,
         )
         self._name = name or f"victim-{size_bytes // 1024}KB+{victim_entries}"
@@ -91,6 +106,11 @@ class VictimCache:
     def block_size(self) -> int:
         """Line size in bytes."""
         return self._main.block_size
+
+    @property
+    def replacement_name(self) -> str:
+        """Replacement policy applied to the main cache and the buffer."""
+        return self._replacement_name
 
     def access(self, address: int, is_write: bool = False) -> VictimCacheResult:
         """Access the main cache, falling back to the victim buffer on a miss."""

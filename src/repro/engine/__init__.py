@@ -20,9 +20,14 @@ Experiment drivers expose the choice as ``engine={"reference", "vectorized"}``
 """
 
 from .batch import AddressBatch, materialise_batch
-from .batch_cache import BatchColumnAssociativeCache, BatchSetAssociativeCache
+from .batch_cache import (
+    BatchColumnAssociativeCache,
+    BatchSetAssociativeCache,
+    BatchVictimCache,
+)
 from .index_vec import GF2RemainderTable, VectorizedIndex, vectorize_index
-from .sweep import run_sweep
+from .replacement_vec import VecReplacementState, make_vec_replacement
+from .sweep import chunk_tasks, run_sweep
 from .tabulated import TabulatedIPolyIndexing, tabulate_index_function
 
 __all__ = [
@@ -34,10 +39,14 @@ __all__ = [
     "materialise_batch",
     "BatchSetAssociativeCache",
     "BatchColumnAssociativeCache",
+    "BatchVictimCache",
+    "VecReplacementState",
+    "make_vec_replacement",
     "GF2RemainderTable",
     "VectorizedIndex",
     "vectorize_index",
     "run_sweep",
+    "chunk_tasks",
     "TabulatedIPolyIndexing",
     "tabulate_index_function",
 ]

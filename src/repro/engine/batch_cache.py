@@ -9,7 +9,8 @@ bit-exact with the scalar models by construction (the differential suite in
 ``tests/test_engine_equivalence.py`` asserts identical hit/miss sequences and
 identical final :class:`~repro.cache.stats.CacheStats`).
 
-Three execution strategies, picked automatically per batch:
+Five execution strategies, picked automatically per cache configuration
+and batch:
 
 1. **Fully vectorized** (non-skewed, <= 2 ways, LRU, load-only batch, cold
    cache): set indices are computed for the whole array at once, accesses are
@@ -30,24 +31,60 @@ Three execution strategies, picked automatically per batch:
    and displaced-block-retreat behaviour of
    :class:`~repro.cache.column_assoc.ColumnAssociativeCache` exactly.
 
-Only LRU replacement is modelled (the paper's trace-level experiments use
-nothing else); unlike the scalar cache there is no ``replacement`` parameter
-to override it.
+4. **Generic replacement kernel** (any skew, non-LRU policies): the
+   ``replacement`` parameter accepts the same short names as the scalar
+   caches (``lru``, ``fifo``, ``random``, ``plru``); non-LRU policies run a
+   per-way flat-list kernel whose decisions come from the NumPy-backed state
+   tables in :mod:`repro.engine.replacement_vec` — bit-exact with the scalar
+   policies (including identical deterministic random-victim sequences).
+   LRU keeps the specialised fast paths above.
+
+5. **Victim-cache kernel** (:class:`BatchVictimCache`): the main cache and
+   its fully-associative victim buffer in one tight loop over
+   pre-vectorized indices, replicating
+   :class:`~repro.cache.victim.VictimCache` — swap-on-victim-hit, displaced
+   lines stashed in the buffer, dirty lines falling out of the buffer
+   counted as writebacks — exactly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from ..cache.replacement import (
+    RandomReplacement,
+    ReplacementPolicy,
+    replacement_policy_name,
+)
 from ..cache.set_assoc import WritePolicy
 from ..cache.stats import CacheStats, MissClassifier, MissKind
 from ..core.index import BitSelectIndexing, IndexFunction, IPolyIndexing
 from .batch import AddressBatch
 from .index_vec import VectorizedIndex, _VecIPoly, vectorize_index
+from .replacement_vec import VecReplacementState, make_vec_replacement
 
-__all__ = ["BatchSetAssociativeCache", "BatchColumnAssociativeCache"]
+__all__ = [
+    "BatchSetAssociativeCache",
+    "BatchColumnAssociativeCache",
+    "BatchVictimCache",
+]
+
+
+def _resolve_batch_replacement(
+        replacement: Union[str, ReplacementPolicy, None]):
+    """Normalise a batch cache's ``replacement=`` argument.
+
+    Returns ``(name, seed)``: the validated policy name plus the draw seed
+    carried by a scalar :class:`RandomReplacement` instance (``None``
+    otherwise), so that passing a configured policy instance to a batch
+    cache reproduces the scalar cache's exact victim sequence instead of
+    silently falling back to the default seed.
+    """
+    seed = (replacement.seed
+            if isinstance(replacement, RandomReplacement) else None)
+    return replacement_policy_name(replacement), seed
 
 
 class BatchSetAssociativeCache:
@@ -66,6 +103,7 @@ class BatchSetAssociativeCache:
         block_size: int,
         ways: int,
         index_function: Optional[IndexFunction] = None,
+        replacement: Union[str, ReplacementPolicy, None] = None,
         write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
         classify_misses: bool = False,
         name: str = "",
@@ -101,6 +139,8 @@ class BatchSetAssociativeCache:
             )
         self._index_fn = index_function
         self._vec_index: VectorizedIndex = vectorize_index(index_function)
+        self._replacement_name, random_seed = _resolve_batch_replacement(
+            replacement)
         self._write_policy = write_policy
         self._name = name or (f"{size_bytes // 1024}KB-{ways}way-"
                               f"{index_function.name}-batch")
@@ -111,14 +151,22 @@ class BatchSetAssociativeCache:
         self._classifier = (
             MissClassifier(self.num_blocks) if classify_misses else None
         )
-        # Non-skewed state: one dict per set mapping block -> dirty, in
-        # LRU-to-MRU insertion order.  Skewed state: per-way flat tag /
-        # last-used / dirty lists (tag -1 == invalid frame).
-        if self._skewed:
+        # Non-skewed LRU state: one dict per set mapping block -> dirty, in
+        # LRU-to-MRU insertion order.  Skewed LRU and every non-LRU policy:
+        # per-way flat tag / dirty lists (tag -1 == invalid frame), with
+        # last-used timestamps in the cache (LRU) or in the policy state
+        # tables of :mod:`repro.engine.replacement_vec` (everything else).
+        self._use_flat = self._skewed or self._replacement_name != "lru"
+        self._vec_policy: Optional[VecReplacementState] = None
+        if self._use_flat:
             self._way_tags = [[-1] * self._num_sets for _ in range(ways)]
             self._way_used = [[0] * self._num_sets for _ in range(ways)]
             self._way_dirty = [[False] * self._num_sets for _ in range(ways)]
             self._sets: List[Dict[int, bool]] = []
+            if self._replacement_name != "lru":
+                self._vec_policy = make_vec_replacement(
+                    self._replacement_name, ways, self._num_sets,
+                    seed=random_seed)
         else:
             self._sets = [dict() for _ in range(self._num_sets)]
 
@@ -166,9 +214,14 @@ class BatchSetAssociativeCache:
         """The configured write policy."""
         return self._write_policy
 
+    @property
+    def replacement_name(self) -> str:
+        """Short name of the configured replacement policy."""
+        return self._replacement_name
+
     def resident_blocks(self) -> List[int]:
         """All resident block numbers (order unspecified)."""
-        if self._skewed:
+        if self._use_flat:
             return [tag for tags in self._way_tags for tag in tags if tag >= 0]
         return [block for d in self._sets for block in d]
 
@@ -191,6 +244,8 @@ class BatchSetAssociativeCache:
         if n == 0:
             return np.zeros(0, dtype=bool)
         blocks = batch.block_numbers(self._block_size)
+        if self._vec_policy is not None:
+            return self._run_policy_kernel(blocks, batch.is_write)
         if (not self._skewed and self._ways <= 2 and self._classifier is None
                 and self._clock == 0 and not batch.has_stores):
             return self._run_vectorized(blocks)
@@ -520,6 +575,105 @@ class BatchSetAssociativeCache:
                 stats.miss_kinds[kind] += count
         return np.array(hits_l, dtype=bool)
 
+    # -- strategy 4: generic replacement kernel (any skew, non-LRU) ------ #
+
+    def _run_policy_kernel(self, blocks: np.ndarray,
+                           is_write: np.ndarray) -> np.ndarray:
+        ways = self._ways
+        if self._skewed:
+            way_sets = [
+                self._vec_index.way_indices(blocks, w).astype(np.int64).tolist()
+                for w in range(ways)
+            ]
+        else:
+            shared = self._vec_index.way_indices(blocks, 0).astype(
+                np.int64).tolist()
+            way_sets = [shared] * ways
+        blocks_l = blocks.tolist()
+        writes_l = is_write.tolist()
+        tags = self._way_tags
+        dirty = self._way_dirty
+        write_back = self._write_policy == WritePolicy.WRITE_BACK_ALLOCATE
+        classifier = self._classifier
+        stats = self.stats
+        clock = self._clock
+        way_range = range(ways)
+        policy = self._vec_policy
+        policy.kernel_begin()
+        on_hit = policy.on_hit
+        on_fill = policy.on_fill
+        choose = policy.victim
+
+        hits_l = []
+        hit_append = hits_l.append
+        loads = stores = load_misses = store_misses = evictions = writebacks = 0
+        kinds = {MissKind.COMPULSORY: 0, MissKind.CAPACITY: 0, MissKind.CONFLICT: 0}
+
+        try:
+            for i, b in enumerate(blocks_l):
+                clock += 1
+                w = writes_l[i]
+                hit_way = -1
+                for wy in way_range:
+                    s = way_sets[wy][i]
+                    if tags[wy][s] == b:
+                        hit_way = wy
+                        on_hit(wy, s, clock)
+                        if w and write_back:
+                            dirty[wy][s] = True
+                        break
+                if hit_way >= 0:
+                    if w:
+                        stores += 1
+                    else:
+                        loads += 1
+                    hit_append(True)
+                    if classifier is not None:
+                        classifier.classify(b, True)
+                    continue
+                hit_append(False)
+                if classifier is not None:
+                    kind = classifier.classify(b, False)
+                    kinds[kind] += 1
+                if w:
+                    stores += 1
+                    store_misses += 1
+                    if not write_back:
+                        continue
+                else:
+                    loads += 1
+                    load_misses += 1
+                fill_dirty = w and write_back
+                target = -1
+                for wy in way_range:
+                    if tags[wy][way_sets[wy][i]] < 0:
+                        target = wy
+                        break
+                if target < 0:
+                    target = choose([way_sets[wy][i] for wy in way_range])
+                    s = way_sets[target][i]
+                    evictions += 1
+                    if dirty[target][s]:
+                        writebacks += 1
+                s = way_sets[target][i]
+                tags[target][s] = b
+                dirty[target][s] = fill_dirty
+                on_fill(target, s, clock)
+        finally:
+            policy.kernel_end()
+
+        self._clock = clock
+        stats.loads += loads
+        stats.stores += stores
+        stats.load_misses += load_misses
+        stats.store_misses += store_misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        if classifier is not None:
+            for kind, count in kinds.items():
+                stats.miss_kinds[kind] += count
+        return np.array(hits_l, dtype=bool)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"BatchSetAssociativeCache({self._size_bytes}B, {self._ways}-way, "
@@ -545,6 +699,7 @@ class BatchColumnAssociativeCache:
         swap_on_rehash_hit: bool = True,
         classify_misses: bool = False,
         address_bits: Optional[int] = None,
+        replacement: Union[str, ReplacementPolicy, None] = None,
         name: str = "",
     ) -> None:
         if block_size < 1 or block_size & (block_size - 1):
@@ -555,6 +710,10 @@ class BatchColumnAssociativeCache:
         if num_frames & (num_frames - 1):
             raise ValueError("number of frames must be a power of two")
 
+        # Accepted and validated for sweep symmetry, but behaviourally inert:
+        # the organisation is direct-mapped per probe location, so placement
+        # is fully determined (see the scalar model's docstring).
+        self._replacement_name, _ = _resolve_batch_replacement(replacement)
         self._block_size = block_size
         self._num_frames = num_frames
         self._primary = primary_index or BitSelectIndexing(num_frames)
@@ -600,6 +759,11 @@ class BatchColumnAssociativeCache:
     def num_frames(self) -> int:
         """Total number of frames (direct-mapped)."""
         return self._num_frames
+
+    @property
+    def replacement_name(self) -> str:
+        """Configured (inert — see class docstring) replacement policy name."""
+        return self._replacement_name
 
     @property
     def first_probe_hit_ratio(self) -> float:
@@ -711,3 +875,268 @@ class BatchColumnAssociativeCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"BatchColumnAssociativeCache({self._num_frames} frames, "
                 f"{self._block_size}B blocks)")
+
+
+class BatchVictimCache:
+    """Batch counterpart of :class:`~repro.cache.victim.VictimCache`.
+
+    A main cache backed by a small fully-associative victim buffer, run as
+    one tight kernel over pre-vectorized main-cache indices.  The per-access
+    state machine replicates the scalar model exactly: a main miss probes
+    the buffer; a buffer hit invalidates the entry and refills the main
+    cache; any line the main cache displaces is stashed in the buffer; and a
+    dirty line falling out of the buffer counts as a writeback on
+    :attr:`stats` (the only writeback the scalar model surfaces).  Both
+    structures honour the same ``replacement`` policy names as the scalar
+    cache, with independent policy state per structure — so the whole
+    organisation is differential-testable policy-for-policy.
+
+    :meth:`run` returns the per-access overall hit mask; :attr:`main_hits`
+    and :attr:`victim_hits` split the hits like the scalar model.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        block_size: int,
+        ways: int = 1,
+        victim_entries: int = 8,
+        index_function: Optional[IndexFunction] = None,
+        replacement: Union[str, ReplacementPolicy, None] = None,
+        name: str = "",
+    ) -> None:
+        if victim_entries < 1:
+            raise ValueError("victim_entries must be positive")
+        if block_size < 1 or block_size & (block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if ways < 1:
+            raise ValueError("ways must be at least 1")
+        if size_bytes < block_size * ways:
+            raise ValueError("cache must hold at least one set")
+        if size_bytes % (block_size * ways):
+            raise ValueError(
+                "size_bytes must be a multiple of block_size * ways "
+                f"({block_size * ways}), got {size_bytes}"
+            )
+        self._size_bytes = size_bytes
+        self._block_size = block_size
+        self._ways = ways
+        self._num_sets = size_bytes // (block_size * ways)
+        if self._num_sets & (self._num_sets - 1):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self._num_sets}"
+            )
+        if index_function is None:
+            index_function = BitSelectIndexing(self._num_sets)
+        if index_function.num_sets != self._num_sets:
+            raise ValueError(
+                f"index function covers {index_function.num_sets} sets but the "
+                f"cache has {self._num_sets}"
+            )
+        self._index_fn = index_function
+        self._vec_index = vectorize_index(index_function)
+        self._skewed = index_function.is_skewed
+        self._replacement_name, random_seed = _resolve_batch_replacement(
+            replacement)
+        self._entries = victim_entries
+        self._name = name or f"victim-{size_bytes // 1024}KB+{victim_entries}-batch"
+
+        # Main-cache state (per-way flat lists) and its policy tables.
+        self._way_tags = [[-1] * self._num_sets for _ in range(ways)]
+        self._way_dirty = [[False] * self._num_sets for _ in range(ways)]
+        self._main_policy = make_vec_replacement(
+            self._replacement_name, ways, self._num_sets, seed=random_seed)
+        self._main_clock = 0
+        # Victim-buffer state (one set of `victim_entries` ways).
+        self._victim_tags = [-1] * victim_entries
+        self._victim_dirty = [False] * victim_entries
+        self._victim_policy = make_vec_replacement(
+            self._replacement_name, victim_entries, 1, seed=random_seed)
+        self._victim_clock = 0
+
+        self.stats = CacheStats()
+        self.main_hits = 0
+        self.victim_hits = 0
+
+    @property
+    def name(self) -> str:
+        """Label used in reports."""
+        return self._name
+
+    @property
+    def block_size(self) -> int:
+        """Line size in bytes."""
+        return self._block_size
+
+    @property
+    def victim_entries(self) -> int:
+        """Number of lines in the victim buffer."""
+        return self._entries
+
+    @property
+    def replacement_name(self) -> str:
+        """Replacement policy applied to the main cache and the buffer."""
+        return self._replacement_name
+
+    @property
+    def miss_ratio(self) -> float:
+        """Overall miss ratio (misses in both structures)."""
+        return self.stats.miss_ratio
+
+    @property
+    def victim_hit_ratio(self) -> float:
+        """Fraction of all accesses satisfied by the victim buffer."""
+        return self.victim_hits / self.stats.accesses if self.stats.accesses else 0.0
+
+    def run(self, batch: AddressBatch) -> np.ndarray:
+        """Simulate a whole batch; returns the per-access overall hit mask."""
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        blocks = batch.block_numbers(self._block_size)
+        ways = self._ways
+        if self._skewed:
+            way_sets = [
+                self._vec_index.way_indices(blocks, w).astype(np.int64).tolist()
+                for w in range(ways)
+            ]
+        else:
+            shared = self._vec_index.way_indices(blocks, 0).astype(
+                np.int64).tolist()
+            way_sets = [shared] * ways
+        blocks_l = blocks.tolist()
+        writes_l = batch.is_write.tolist()
+        tags = self._way_tags
+        dirty = self._way_dirty
+        vtags = self._victim_tags
+        vdirty = self._victim_dirty
+        entries = self._entries
+        entry_range = range(entries)
+        way_range = range(ways)
+        #: Candidate sets of the single-set victim buffer (one per entry).
+        buffer_sets = [0] * entries
+        stats = self.stats
+        main_clock = self._main_clock
+        victim_clock = self._victim_clock
+        main_policy = self._main_policy
+        victim_policy = self._victim_policy
+        main_policy.kernel_begin()
+        victim_policy.kernel_begin()
+
+        hits_l = []
+        hit_append = hits_l.append
+        loads = stores = load_misses = store_misses = writebacks = 0
+        main_hits = victim_hits = 0
+
+        try:
+            for i, b in enumerate(blocks_l):
+                w = writes_l[i]
+                # Probe the main cache.
+                hit_way = -1
+                for wy in way_range:
+                    s = way_sets[wy][i]
+                    if tags[wy][s] == b:
+                        hit_way = wy
+                        break
+                if hit_way >= 0:
+                    main_clock += 1
+                    main_policy.on_hit(hit_way, s, main_clock)
+                    if w:
+                        dirty[hit_way][s] = True  # main cache is write-back
+                        stores += 1
+                    else:
+                        loads += 1
+                    main_hits += 1
+                    hit_append(True)
+                    continue
+                # Main miss: probe the victim buffer.
+                victim_slot = -1
+                for j in entry_range:
+                    if vtags[j] == b:
+                        victim_slot = j
+                        break
+                victim_hit = victim_slot >= 0
+                if w:
+                    stores += 1
+                    if not victim_hit:
+                        store_misses += 1
+                else:
+                    loads += 1
+                    if not victim_hit:
+                        load_misses += 1
+                hit_append(victim_hit)
+                if victim_hit:
+                    victim_hits += 1
+                    # The promoted entry leaves the buffer; the line the main
+                    # cache displaces will take a slot below.
+                    vtags[victim_slot] = -1
+                    vdirty[victim_slot] = False
+                # Refill the main cache (write-back / write-allocate).
+                main_clock += 1
+                fill_dirty = bool(w)
+                target = -1
+                for wy in way_range:
+                    if tags[wy][way_sets[wy][i]] < 0:
+                        target = wy
+                        break
+                evicted = -1
+                evicted_dirty = False
+                if target < 0:
+                    target = main_policy.victim(
+                        [way_sets[wy][i] for wy in way_range])
+                    s = way_sets[target][i]
+                    evicted = tags[target][s]
+                    evicted_dirty = dirty[target][s]
+                s = way_sets[target][i]
+                tags[target][s] = b
+                dirty[target][s] = fill_dirty
+                main_policy.on_fill(target, s, main_clock)
+                if evicted < 0:
+                    continue
+                # Stash the displaced line in the victim buffer.
+                victim_clock += 1
+                slot = -1
+                for j in entry_range:
+                    if vtags[j] < 0:
+                        slot = j
+                        break
+                if slot < 0:
+                    slot = victim_policy.victim(buffer_sets)
+                    if vdirty[slot]:
+                        # A dirty line falling out of the buffer would be
+                        # written back to the next level.
+                        writebacks += 1
+                vtags[slot] = evicted
+                vdirty[slot] = evicted_dirty
+                victim_policy.on_fill(slot, 0, victim_clock)
+        finally:
+            main_policy.kernel_end()
+            victim_policy.kernel_end()
+
+        self._main_clock = main_clock
+        self._victim_clock = victim_clock
+        stats.loads += loads
+        stats.stores += stores
+        stats.load_misses += load_misses
+        stats.store_misses += store_misses
+        stats.writebacks += writebacks
+        self.main_hits += main_hits
+        self.victim_hits += victim_hits
+        return np.array(hits_l, dtype=bool)
+
+    def flush(self) -> None:
+        """Empty both structures (statistics are preserved)."""
+        for tags in self._way_tags:
+            tags[:] = [-1] * self._num_sets
+        for d in self._way_dirty:
+            d[:] = [False] * self._num_sets
+        self._victim_tags[:] = [-1] * self._entries
+        self._victim_dirty[:] = [False] * self._entries
+        self._main_policy.reset()
+        self._victim_policy.reset()
+        self._main_clock = 0
+        self._victim_clock = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BatchVictimCache({self._size_bytes}B, {self._ways}-way, "
+                f"+{self._entries} victim entries)")

@@ -19,7 +19,7 @@ import concurrent.futures
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-__all__ = ["run_sweep"]
+__all__ = ["chunk_tasks", "run_sweep"]
 
 TaskT = TypeVar("TaskT")
 ResultT = TypeVar("ResultT")
@@ -32,10 +32,28 @@ def _noop() -> None:
     """Picklable probe task used to detect unusable worker pools."""
 
 
+def chunk_tasks(tasks: Sequence[TaskT],
+                chunksize: int) -> List[List[TaskT]]:
+    """Group ``tasks`` into consecutive chunks of up to ``chunksize`` items.
+
+    Tiny simulation tasks are dominated by per-task dispatch cost (pickling,
+    IPC, result marshalling) when fanned across a process pool one at a
+    time.  Batching them into chunk-level work items — each worker call
+    processing a whole chunk and returning a list of results — amortises
+    that overhead; order is preserved, so flattening the chunked results
+    reproduces the unchunked result list exactly.
+    """
+    if chunksize < 1:
+        raise ValueError("chunksize must be positive")
+    tasks = list(tasks)
+    return [tasks[i:i + chunksize] for i in range(0, len(tasks), chunksize)]
+
+
 def run_sweep(worker: Callable[[TaskT], ResultT],
               tasks: Sequence[TaskT],
               workers: Optional[int] = None,
-              mode: str = "process") -> List[ResultT]:
+              mode: str = "process",
+              chunksize: Optional[int] = None) -> List[ResultT]:
     """Apply ``worker`` to every task, optionally across a worker pool.
 
     Parameters
@@ -51,9 +69,17 @@ def run_sweep(worker: Callable[[TaskT], ResultT],
         ``"process"`` (default), ``"thread"``, or ``"serial"``.  Threads only
         help when the worker releases the GIL (NumPy-heavy batches); process
         pools parallelise pure-Python simulation too.
+    chunksize:
+        Number of tasks handed to a process-pool worker per dispatch
+        (pass-through to ``Executor.map``).  ``None`` keeps the default
+        heuristic of about four chunks per worker.  For coarser batching —
+        e.g. one work item per group of related tasks — pre-group the tasks
+        with :func:`chunk_tasks` and give ``worker`` a chunk-level callable.
     """
     if mode not in _MODES:
         raise ValueError(f"unknown sweep mode {mode!r}; expected one of {_MODES}")
+    if chunksize is not None and chunksize < 1:
+        raise ValueError("chunksize must be positive")
     tasks = list(tasks)
     if not tasks:
         return []
@@ -62,7 +88,8 @@ def run_sweep(worker: Callable[[TaskT], ResultT],
 
     executor_cls = (concurrent.futures.ProcessPoolExecutor if mode == "process"
                     else concurrent.futures.ThreadPoolExecutor)
-    chunksize = max(1, len(tasks) // (workers * 4))
+    if chunksize is None:
+        chunksize = max(1, len(tasks) // (workers * 4))
     # Probe the pool with a no-op before committing the sweep to it, so
     # sandboxes without process-spawn rights degrade to serial execution —
     # without a blanket except around the real map that would otherwise

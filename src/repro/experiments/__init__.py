@@ -10,6 +10,7 @@ E-MR          Section 2.1 miss-ratio comparison           :mod:`.miss_ratio_stud
 E-HOLE        Section 3.3 hole model vs simulation        :mod:`.holes_study`
 E-CA          Section 3.1 column-associative option       :mod:`.column_assoc_study`
 E-CP          Section 3 / 3.4 hardware cost & CLA timing  :mod:`.critical_path`
+E-RP          replacement x organisation ablation         :mod:`.replacement_study`
 ============  ==========================================  =======================
 """
 
@@ -29,9 +30,11 @@ from .figure1 import Figure1Result, run_figure1, stride_miss_ratio
 from .holes_study import HoleStudyResult, run_holes_study
 from .miss_ratio_study import (
     MissRatioStudyResult,
+    default_batch_organisations,
     default_organisations,
     run_miss_ratio_study,
 )
+from .replacement_study import ReplacementStudyResult, run_replacement_study
 from .table2 import Table2Result, miss_ratio_std_dev, run_table2
 from .table3 import Table3Result, run_table3
 
@@ -54,7 +57,10 @@ __all__ = [
     "run_table3",
     "MissRatioStudyResult",
     "default_organisations",
+    "default_batch_organisations",
     "run_miss_ratio_study",
+    "ReplacementStudyResult",
+    "run_replacement_study",
     "HoleStudyResult",
     "run_holes_study",
     "ColumnAssocStudyResult",

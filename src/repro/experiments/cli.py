@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.experiments.cli table3 --instructions 12000
     python -m repro.experiments.cli miss-ratio --accesses 30000
     python -m repro.experiments.cli miss-ratio --engine vectorized
+    python -m repro.experiments.cli miss-ratio --replacement plru
+    python -m repro.experiments.cli replacement-study --engine vectorized
     python -m repro.experiments.cli holes --accesses 40000
     python -m repro.experiments.cli column-assoc --accesses 30000
     python -m repro.experiments.cli critical-path
@@ -17,7 +19,10 @@ regenerates; ``--csv`` switches the tabular experiments to CSV output so the
 results can be piped into other tools.  ``--engine {reference,vectorized}``
 selects the scalar reference models or the bit-exact NumPy batch engine
 (``figure1`` additionally accepts ``--workers`` to fan the sweep across
-processes).
+processes and ``--chunksize`` to batch tiny stride tasks per dispatch).
+``--replacement {lru,fifo,random,plru}`` selects the replacement policy on
+the trace-level cache experiments; ``replacement-study`` sweeps all four
+policies across conventional, skewed and victim organisations at once.
 """
 
 from __future__ import annotations
@@ -25,12 +30,14 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from ..cache.replacement import REPLACEMENT_POLICIES
 from ..engine import ENGINES
 from .column_assoc_study import run_column_assoc_study
 from .critical_path import run_critical_path_study
 from .figure1 import run_figure1
 from .holes_study import run_holes_study
 from .miss_ratio_study import run_miss_ratio_study
+from .replacement_study import run_replacement_study
 from .table2 import miss_ratio_std_dev, run_table2
 from .table3 import run_table3
 
@@ -52,13 +59,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="simulation engine: scalar reference models "
                                   "or the bit-exact NumPy batch engine")
 
+    def add_replacement(parser_: argparse.ArgumentParser) -> None:
+        parser_.add_argument("--replacement",
+                             choices=list(REPLACEMENT_POLICIES),
+                             default="lru",
+                             help="replacement policy for every cache of the "
+                                  "experiment (identical across engines, "
+                                  "including the deterministic random policy)")
+
     figure1 = sub.add_parser("figure1", help="Figure 1 stride sweep")
     figure1.add_argument("--max-stride", type=int, default=1024)
     figure1.add_argument("--stride-step", type=int, default=4)
     figure1.add_argument("--sweeps", type=int, default=8)
     figure1.add_argument("--workers", type=int, default=None,
                          help="fan the sweep across this many processes")
+    figure1.add_argument("--chunksize", type=int, default=None,
+                         help="strides per worker dispatch (amortises "
+                              "process-pool overhead on tiny tasks)")
     add_engine(figure1)
+    add_replacement(figure1)
 
     table2 = sub.add_parser("table2", help="Table 2 IPC / miss-ratio sweep")
     table2.add_argument("--instructions", type=int, default=12_000)
@@ -75,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
     miss_ratio.add_argument("--programs", nargs="*", default=None)
     miss_ratio.add_argument("--csv", action="store_true")
     add_engine(miss_ratio)
+    add_replacement(miss_ratio)
+
+    replacement = sub.add_parser(
+        "replacement-study",
+        help="replacement policy x organisation sweep (LRU practicality)")
+    replacement.add_argument("--accesses", type=int, default=20_000)
+    replacement.add_argument("--programs", nargs="*", default=None)
+    replacement.add_argument("--csv", action="store_true")
+    add_engine(replacement)
 
     holes = sub.add_parser("holes", help="Section 3.3 hole model vs simulation")
     holes.add_argument("--accesses", type=int, default=40_000)
@@ -91,7 +119,9 @@ def _run_experiment(args: argparse.Namespace) -> str:
     if args.experiment == "figure1":
         result = run_figure1(max_stride=args.max_stride, sweeps=args.sweeps,
                              stride_step=args.stride_step,
-                             engine=args.engine, workers=args.workers)
+                             engine=args.engine, workers=args.workers,
+                             chunksize=args.chunksize,
+                             replacement=args.replacement)
         return result.render()
     if args.experiment == "table2":
         result = run_table2(programs=args.programs or None,
@@ -110,7 +140,13 @@ def _run_experiment(args: argparse.Namespace) -> str:
     if args.experiment == "miss-ratio":
         result = run_miss_ratio_study(programs=args.programs or None,
                                       accesses=args.accesses,
-                                      engine=args.engine)
+                                      engine=args.engine,
+                                      replacement=args.replacement)
+        return result.table().render_csv() if args.csv else result.render()
+    if args.experiment == "replacement-study":
+        result = run_replacement_study(programs=args.programs or None,
+                                       accesses=args.accesses,
+                                       engine=args.engine)
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "holes":
         result = run_holes_study(l2_sizes=[kb * 1024 for kb in args.l2_kilobytes],

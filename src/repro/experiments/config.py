@@ -63,8 +63,9 @@ def build_cache(geometry: CacheGeometry, scheme: str = "a2",
                 address_bits: int = PAPER_HASH_BITS,
                 classify_misses: bool = False,
                 write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+                replacement: Optional[str] = None,
                 index_function: Optional[IndexFunction] = None) -> SetAssociativeCache:
-    """Build a cache with the given geometry and placement scheme."""
+    """Build a cache with the given geometry, placement scheme and replacement policy."""
     if index_function is None:
         index_function = make_index_function(scheme, num_sets=geometry.num_sets,
                                              ways=geometry.ways,
@@ -74,6 +75,7 @@ def build_cache(geometry: CacheGeometry, scheme: str = "a2",
         block_size=geometry.block_size,
         ways=geometry.ways,
         index_function=index_function,
+        replacement=replacement,
         write_policy=write_policy,
         classify_misses=classify_misses,
         name=f"{geometry.label}-{index_function.name}",

@@ -38,6 +38,7 @@ from ..engine import (
     AddressBatch,
     BatchSetAssociativeCache,
     check_engine,
+    chunk_tasks,
     run_sweep,
 )
 from ..trace.batching import strided_vector_arrays
@@ -78,13 +79,15 @@ def stride_miss_ratio(scheme: str, stride: int,
                       geometry: CacheGeometry = PAPER_L1_8KB,
                       elements: int = 64, element_size: int = 8,
                       sweeps: int = 8, address_bits: int = 19,
-                      engine: str = ENGINE_REFERENCE) -> float:
+                      engine: str = ENGINE_REFERENCE,
+                      replacement: Optional[str] = None) -> float:
     """Miss ratio of one (scheme, stride) pair under the Figure 1 workload.
 
     ``sweeps`` controls how many times the vector is traversed; the first
     sweep's compulsory misses are amortised over the rest, as in the paper's
     "repeated accesses".  ``engine`` picks the scalar reference model or the
-    bit-exact batch engine.
+    bit-exact batch engine; ``replacement`` the replacement policy (``None``
+    means the paper's LRU).
     """
     if stride < 1:
         raise ValueError("stride must be at least 1")
@@ -98,10 +101,12 @@ def stride_miss_ratio(scheme: str, stride: int,
                                        address_bits=address_bits)
         cache = BatchSetAssociativeCache(
             size_bytes=geometry.size_bytes, block_size=geometry.block_size,
-            ways=geometry.ways, index_function=index_fn)
+            ways=geometry.ways, index_function=index_fn,
+            replacement=replacement)
         cache.run(batch)
         return cache.stats.miss_ratio
-    cache = build_cache(geometry, scheme, address_bits=address_bits)
+    cache = build_cache(geometry, scheme, address_bits=address_bits,
+                        replacement=replacement)
     for access in strided_vector(stride, elements=elements,
                                  element_size=element_size, sweeps=sweeps):
         cache.access(access.address, access.is_write)
@@ -110,15 +115,28 @@ def stride_miss_ratio(scheme: str, stride: int,
 
 #: One (scheme, stride) work item of the sweep, with everything a worker
 #: process needs to rebuild the simulation.
-_SweepTask = Tuple[str, int, CacheGeometry, int, int, int, str]
+_SweepTask = Tuple[str, int, CacheGeometry, int, int, int, str, Optional[str]]
 
 
 def _stride_task(task: _SweepTask) -> float:
     """Module-level sweep worker (must be picklable for process pools)."""
-    scheme, stride, geometry, elements, sweeps, address_bits, engine = task
+    (scheme, stride, geometry, elements, sweeps, address_bits, engine,
+     replacement) = task
     return stride_miss_ratio(scheme, stride, geometry=geometry,
                              elements=elements, sweeps=sweeps,
-                             address_bits=address_bits, engine=engine)
+                             address_bits=address_bits, engine=engine,
+                             replacement=replacement)
+
+
+def _stride_chunk_task(chunk: List[_SweepTask]) -> List[float]:
+    """Chunk-level sweep worker: one dispatch simulates a run of strides.
+
+    The Figure 1 grid is thousands of tiny tasks; dispatching them one at a
+    time across a process pool is dominated by pickling/IPC overhead (the
+    ROADMAP's "spawn-cost-bound" item).  Chunks amortise that cost while
+    preserving result order.
+    """
+    return [_stride_task(task) for task in chunk]
 
 
 def run_figure1(max_stride: int = 4096,
@@ -128,7 +146,9 @@ def run_figure1(max_stride: int = 4096,
                 stride_step: int = 1,
                 engine: str = ENGINE_REFERENCE,
                 workers: Optional[int] = None,
-                address_bits: int = 19) -> Figure1Result:
+                chunksize: Optional[int] = None,
+                address_bits: int = 19,
+                replacement: Optional[str] = None) -> Figure1Result:
     """Run the Figure 1 stride sweep.
 
     Parameters
@@ -146,21 +166,40 @@ def run_figure1(max_stride: int = 4096,
     workers:
         Fan the (scheme, stride) grid across this many worker processes;
         ``None`` or 1 runs serially.
+    chunksize:
+        Strides simulated per worker dispatch.  Tasks are chunked *within*
+        each scheme (a chunk never spans schemes), so one dispatch carries a
+        contiguous run of strides instead of a single tiny task.  ``None``
+        picks roughly four chunks per worker per scheme.
+    replacement:
+        Replacement policy name for every cache of the sweep (``None`` means
+        the paper's LRU).
     """
     if max_stride < 2:
         raise ValueError("max_stride must be at least 2")
     if stride_step < 1:
         raise ValueError("stride_step must be positive")
+    if chunksize is not None and chunksize < 1:
+        raise ValueError("chunksize must be positive")
     engine = check_engine(engine)
     schemes = list(schemes) if schemes is not None else list(INDEX_SCHEMES)
 
     strides = range(1, max_stride, stride_step)
     result = Figure1Result(geometry=geometry, strides=len(strides))
-    tasks: List[_SweepTask] = [
-        (scheme, stride, geometry, elements, sweeps, address_bits, engine)
-        for scheme in schemes for stride in strides
-    ]
-    ratios_flat = run_sweep(_stride_task, tasks, workers=workers)
+    if chunksize is None:
+        per_worker = max(1, (workers or 1) * 4)
+        chunksize = max(1, len(strides) // per_worker)
+    chunks: List[List[_SweepTask]] = []
+    for scheme in schemes:
+        scheme_tasks: List[_SweepTask] = [
+            (scheme, stride, geometry, elements, sweeps, address_bits,
+             engine, replacement)
+            for stride in strides
+        ]
+        chunks.extend(chunk_tasks(scheme_tasks, chunksize))
+    chunked_ratios = run_sweep(_stride_chunk_task, chunks, workers=workers,
+                               chunksize=1)
+    ratios_flat = [ratio for chunk in chunked_ratios for ratio in chunk]
     per_scheme = len(strides)
     for position, scheme in enumerate(schemes):
         histogram = MissRatioHistogram(label=scheme)

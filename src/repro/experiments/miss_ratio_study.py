@@ -17,10 +17,13 @@ last two — can be checked.
 The study runs on either simulation engine: ``engine="reference"`` replays
 the generator trace through every scalar cache model; ``engine="vectorized"``
 materialises each program's trace *once* into NumPy arrays and drives the
-batch engine for every organisation it covers (set-associative in all four
-index families, fully-associative, column-associative), replaying the same
-arrays through the scalar model for organisations without a batch kernel
-(the victim cache).  Both paths produce identical miss ratios.
+batch engine for every organisation — set-associative in all four index
+families, fully-associative, column-associative and (since the
+:class:`~repro.engine.batch_cache.BatchVictimCache` kernel landed) the victim
+cache, so no organisation falls back to scalar replay.  Both paths produce
+identical miss ratios.  ``replacement`` selects the replacement policy the
+set-associative, fully-associative and victim organisations use (the
+column-associative organisation has no replacement freedom).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from ..engine import (
     AddressBatch,
     BatchColumnAssociativeCache,
     BatchSetAssociativeCache,
+    BatchVictimCache,
     check_engine,
     materialise_batch,
 )
@@ -109,25 +113,30 @@ _ORGANISATION_SPECS = (
 )
 
 
-def _scalar_factory(kind: str, params: Dict, geometry: CacheGeometry) -> Callable:
+def _scalar_factory(kind: str, params: Dict, geometry: CacheGeometry,
+                    replacement: Optional[str] = None) -> Callable:
     if kind == "set-assoc":
         return lambda: build_cache(geometry, params["scheme"],
-                                   address_bits=PAPER_HASH_BITS)
+                                   address_bits=PAPER_HASH_BITS,
+                                   replacement=replacement)
     if kind == "fully-assoc":
         return lambda: FullyAssociativeCache(geometry.size_bytes,
-                                             geometry.block_size)
+                                             geometry.block_size,
+                                             replacement=replacement)
     if kind == "victim":
         return lambda: VictimCache(geometry.size_bytes, geometry.block_size,
                                    ways=params["ways"],
-                                   victim_entries=params["victim_entries"])
+                                   victim_entries=params["victim_entries"],
+                                   replacement=replacement)
     if kind == "column-assoc":
         return lambda: ColumnAssociativeCache(
             geometry.size_bytes, geometry.block_size,
-            address_bits=PAPER_HASH_BITS)
+            address_bits=PAPER_HASH_BITS, replacement=replacement)
     raise ValueError(f"unknown organisation kind {kind!r}")  # pragma: no cover
 
 
-def _batch_factory(kind: str, params: Dict, geometry: CacheGeometry) -> Callable:
+def _batch_factory(kind: str, params: Dict, geometry: CacheGeometry,
+                   replacement: Optional[str] = None) -> Callable:
     if kind == "set-assoc":
         def make() -> BatchSetAssociativeCache:
             index_fn = make_index_function(params["scheme"],
@@ -137,43 +146,48 @@ def _batch_factory(kind: str, params: Dict, geometry: CacheGeometry) -> Callable
             return BatchSetAssociativeCache(
                 size_bytes=geometry.size_bytes,
                 block_size=geometry.block_size,
-                ways=geometry.ways, index_function=index_fn)
+                ways=geometry.ways, index_function=index_fn,
+                replacement=replacement)
         return make
     if kind == "fully-assoc":
         return lambda: BatchSetAssociativeCache(
             geometry.size_bytes, geometry.block_size,
             ways=geometry.size_bytes // geometry.block_size,
-            index_function=SingleSetIndexing())
+            index_function=SingleSetIndexing(), replacement=replacement)
+    if kind == "victim":
+        return lambda: BatchVictimCache(
+            geometry.size_bytes, geometry.block_size,
+            ways=params["ways"], victim_entries=params["victim_entries"],
+            replacement=replacement)
     if kind == "column-assoc":
         return lambda: BatchColumnAssociativeCache(
             geometry.size_bytes, geometry.block_size,
-            address_bits=PAPER_HASH_BITS)
-    # No batch kernel (victim cache): the study replays the materialised
-    # arrays through the scalar model.
-    return _scalar_factory(kind, params, geometry)
+            address_bits=PAPER_HASH_BITS, replacement=replacement)
+    raise ValueError(f"unknown organisation kind {kind!r}")  # pragma: no cover
 
 
-def default_organisations(geometry: CacheGeometry = PAPER_L1_8KB) -> Dict[str, Callable]:
+def default_organisations(geometry: CacheGeometry = PAPER_L1_8KB,
+                          replacement: Optional[str] = None) -> Dict[str, Callable]:
     """Factories for the organisations compared in the Section 2.1 summary.
 
     Returns a mapping from label to a zero-argument callable building a fresh
     cache.  Callers can extend the mapping with victim or column-associative
     organisations (both available in :mod:`repro.cache`) for wider studies.
     """
-    return {label: _scalar_factory(kind, params, geometry)
+    return {label: _scalar_factory(kind, params, geometry, replacement)
             for label, kind, params in _ORGANISATION_SPECS}
 
 
 def default_batch_organisations(
-        geometry: CacheGeometry = PAPER_L1_8KB) -> Dict[str, Callable]:
+        geometry: CacheGeometry = PAPER_L1_8KB,
+        replacement: Optional[str] = None) -> Dict[str, Callable]:
     """Batch-engine counterparts of :func:`default_organisations`.
 
     Built from the same :data:`_ORGANISATION_SPECS` rows, so labels and
-    parameters can never diverge between engines.  The victim cache has no
-    batch kernel; its factory builds the scalar model and the study replays
-    the materialised arrays through it.
+    parameters can never diverge between engines.  Every organisation —
+    including the victim cache — now has a native batch kernel.
     """
-    return {label: _batch_factory(kind, params, geometry)
+    return {label: _batch_factory(kind, params, geometry, replacement)
             for label, kind, params in _ORGANISATION_SPECS}
 
 
@@ -192,13 +206,16 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
                          accesses: int = 40_000,
                          organisations: Optional[Mapping[str, Callable]] = None,
                          seed: int = 12345,
-                         engine: str = ENGINE_REFERENCE) -> MissRatioStudyResult:
+                         engine: str = ENGINE_REFERENCE,
+                         replacement: Optional[str] = None) -> MissRatioStudyResult:
     """Replay the workload suite through every organisation and collect miss ratios.
 
     ``engine="vectorized"`` materialises each program's trace once and runs
-    the batch engine (scalar replay for organisations without a batch
-    kernel); a caller-supplied ``organisations`` mapping is honoured on both
-    engines — batch caches expose ``run``, anything else is replayed.
+    the batch engine natively for every default organisation (victim cache
+    included); a caller-supplied ``organisations`` mapping is honoured on
+    both engines — batch caches expose ``run``, anything else is replayed
+    access-at-a-time.  ``replacement`` picks the replacement policy of the
+    default organisations (``None`` means the paper's LRU).
     """
     if accesses < 1_000:
         raise ValueError("accesses should be at least 1000 for stable ratios")
@@ -207,9 +224,9 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
     if organisations is not None:
         organisation_map = dict(organisations)
     elif engine == ENGINE_VECTORIZED:
-        organisation_map = default_batch_organisations()
+        organisation_map = default_batch_organisations(replacement=replacement)
     else:
-        organisation_map = default_organisations()
+        organisation_map = default_organisations(replacement=replacement)
 
     result = MissRatioStudyResult(accesses_per_program=accesses)
     for name in program_list:

@@ -1,0 +1,166 @@
+"""Experiment E-RP: replacement policy x cache organisation sweep.
+
+The paper's central trade-off is about *placement*, but placement interacts
+with *replacement*: a conflict-avoiding (skewed, pseudo-randomly indexed)
+cache cannot implement true per-set LRU cheaply, because the candidate
+frames of one block live in different sets of every bank and no small
+per-set state covers them.  The practical alternatives are the policies a
+skewed cache *can* implement — FIFO counters, tree-PLRU bits, or a
+pseudo-random pick.  This study quantifies what those alternatives cost, by
+sweeping every replacement policy across three organisations at equal data
+capacity:
+
+* a conventional two-way set-associative cache (``a2``), where true LRU is
+  cheap — the baseline cost of abandoning it;
+* the paper's skewed I-Poly cache (``a2-Hp-Sk``), where LRU is the
+  impractical policy the ablation replaces;
+* a direct-mapped cache with a victim buffer, where replacement only
+  matters inside the tiny fully-associative buffer.
+
+If the skewed organisation's miss ratio is (nearly) policy-insensitive
+while the conventional one degrades without LRU, the paper's position —
+that giving up true LRU is a small price for conflict-avoiding placement —
+is supported by this reproduction.
+
+Both engines run the study; the vectorized path uses the replacement-aware
+batch kernels (including :class:`~repro.engine.batch_cache.BatchVictimCache`)
+and produces bit-identical ratios to the scalar models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.metrics import arithmetic_mean
+from ..analysis.reporting import TableBuilder
+from ..cache.replacement import REPLACEMENT_POLICIES
+from ..engine import ENGINE_REFERENCE, ENGINE_VECTORIZED, check_engine, materialise_batch
+from ..trace.workloads import build_trace, workload_names
+from .config import PAPER_L1_8KB, CacheGeometry
+from .miss_ratio_study import _batch_factory, _replay_batch, _scalar_factory
+
+__all__ = [
+    "ReplacementStudyResult",
+    "run_replacement_study",
+]
+
+#: The organisations swept against every policy: (label, kind, params) rows
+#: consumed by the same factory tables as the miss-ratio study.
+_STUDY_ORGANISATIONS = (
+    ("conventional-2way", "set-assoc", {"scheme": "a2"}),
+    ("skewed-ipoly-2way", "set-assoc", {"scheme": "a2-Hp-Sk"}),
+    ("victim-direct+8", "victim", {"ways": 1, "victim_entries": 8}),
+)
+
+
+@dataclass
+class ReplacementStudyResult:
+    """Suite-average load miss ratios (percent) per organisation x policy."""
+
+    accesses_per_program: int
+    programs: List[str] = field(default_factory=list)
+    policies: List[str] = field(default_factory=list)
+    #: ``miss_ratios[organisation][policy]`` -> suite-average percent.
+    miss_ratios: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def organisations(self) -> List[str]:
+        """Organisations swept."""
+        return list(self.miss_ratios)
+
+    def policy_spread(self, organisation: str) -> float:
+        """Worst-minus-best miss ratio across policies (percentage points).
+
+        The organisation's *replacement sensitivity*: how much choosing the
+        wrong (or the only implementable) policy can cost.
+        """
+        values = self.miss_ratios[organisation].values()
+        return max(values) - min(values)
+
+    def lru_penalty(self, organisation: str, policy: str) -> float:
+        """Miss-ratio cost (percentage points) of ``policy`` versus LRU."""
+        row = self.miss_ratios[organisation]
+        return row[policy] - row["lru"]
+
+    def table(self) -> TableBuilder:
+        """Organisation x policy table with a spread column."""
+        table = TableBuilder(self.policies + ["spread"],
+                             row_label="organisation")
+        for organisation in self.organisations:
+            row = dict(self.miss_ratios[organisation])
+            row["spread"] = self.policy_spread(organisation)
+            table.add_row(organisation, row)
+        return table
+
+    def render(self) -> str:
+        """Render as text, with the replacement-sensitivity summary."""
+        lines = [self.table().render(
+            title="Load miss ratio (%) by organisation and replacement policy")]
+        lines.append("")
+        lines.append("replacement sensitivity (max - min across policies):")
+        for organisation in self.organisations:
+            lines.append(f"  {organisation:20s} "
+                         f"{self.policy_spread(organisation):6.2f} pp")
+        return "\n".join(lines)
+
+
+def run_replacement_study(programs: Optional[Sequence[str]] = None,
+                          accesses: int = 40_000,
+                          policies: Optional[Sequence[str]] = None,
+                          geometry: CacheGeometry = PAPER_L1_8KB,
+                          seed: int = 12345,
+                          engine: str = ENGINE_REFERENCE,
+                          ) -> ReplacementStudyResult:
+    """Sweep replacement policy x organisation over the workload suite.
+
+    Replays every program's trace through each (organisation, policy) pair
+    and reports suite-average load miss ratios.  ``engine="vectorized"``
+    materialises each trace once and drives the batch kernels; both engines
+    produce identical numbers.
+    """
+    if accesses < 1_000:
+        raise ValueError("accesses should be at least 1000 for stable ratios")
+    engine = check_engine(engine)
+    policy_list = list(policies) if policies is not None else list(REPLACEMENT_POLICIES)
+    for policy in policy_list:
+        if policy not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown replacement policy {policy!r}; expected one of "
+                f"{sorted(REPLACEMENT_POLICIES)}")
+    program_list = list(programs) if programs is not None else workload_names()
+    factory = (_batch_factory if engine == ENGINE_VECTORIZED
+               else _scalar_factory)
+
+    result = ReplacementStudyResult(accesses_per_program=accesses,
+                                    programs=program_list,
+                                    policies=policy_list)
+    # Accumulate per-program ratios, then average per (organisation, policy).
+    per_pair: Dict[str, Dict[str, List[float]]] = {
+        label: {policy: [] for policy in policy_list}
+        for label, _, _ in _STUDY_ORGANISATIONS
+    }
+    for name in program_list:
+        if engine == ENGINE_VECTORIZED:
+            batch = materialise_batch(build_trace(name, length=accesses,
+                                                  seed=seed))
+            for label, kind, params in _STUDY_ORGANISATIONS:
+                for policy in policy_list:
+                    cache = factory(kind, params, geometry, policy)()
+                    _replay_batch(cache, batch)
+                    per_pair[label][policy].append(
+                        100.0 * cache.stats.load_miss_ratio)
+        else:
+            for label, kind, params in _STUDY_ORGANISATIONS:
+                for policy in policy_list:
+                    cache = factory(kind, params, geometry, policy)()
+                    for access in build_trace(name, length=accesses, seed=seed):
+                        cache.access(access.address, is_write=access.is_write)
+                    per_pair[label][policy].append(
+                        100.0 * cache.stats.load_miss_ratio)
+    for label, _, _ in _STUDY_ORGANISATIONS:
+        result.miss_ratios[label] = {
+            policy: arithmetic_mean(per_pair[label][policy])
+            for policy in policy_list
+        }
+    return result

@@ -9,16 +9,23 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for command in ("figure1", "table2", "table3", "miss-ratio", "holes",
-                        "column-assoc", "critical-path"):
+                        "column-assoc", "critical-path", "replacement-study"):
             args = parser.parse_args([command] if command in
                                      ("critical-path",) else [command])
             assert args.experiment == command
 
     def test_figure1_options(self):
         args = build_parser().parse_args(
-            ["figure1", "--max-stride", "128", "--stride-step", "2"])
+            ["figure1", "--max-stride", "128", "--stride-step", "2",
+             "--chunksize", "16", "--replacement", "plru"])
         assert args.max_stride == 128
         assert args.stride_step == 2
+        assert args.chunksize == 16
+        assert args.replacement == "plru"
+
+    def test_replacement_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["miss-ratio", "--replacement", "mru"])
 
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):
@@ -52,3 +59,22 @@ class TestExecution:
     def test_column_assoc_runs(self, capsys):
         assert main(["column-assoc", "--accesses", "4000"]) == 0
         assert "first-probe" in capsys.readouterr().out
+
+    def test_miss_ratio_with_replacement(self, capsys):
+        assert main(["miss-ratio", "--accesses", "4000", "--programs", "gcc",
+                     "--engine", "vectorized", "--replacement", "fifo"]) == 0
+        assert "victim-direct+8" in capsys.readouterr().out
+
+    def test_replacement_study_runs(self, capsys):
+        assert main(["replacement-study", "--accesses", "3000",
+                     "--programs", "gcc", "--engine", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "replacement sensitivity" in out
+        assert "skewed-ipoly-2way" in out
+
+    def test_replacement_study_csv(self, capsys):
+        assert main(["replacement-study", "--accesses", "3000",
+                     "--programs", "gcc", "--engine", "vectorized",
+                     "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("organisation,")

@@ -16,12 +16,16 @@ import pytest
 
 from repro.cache.column_assoc import ColumnAssociativeCache
 from repro.cache.fully_assoc import FullyAssociativeCache
+from repro.cache.replacement import REPLACEMENT_POLICIES
 from repro.cache.set_assoc import SetAssociativeCache, WritePolicy
+from repro.cache.victim import VictimCache
 from repro.core.index import SingleSetIndexing, make_index_function
 from repro.engine import (
     AddressBatch,
     BatchColumnAssociativeCache,
     BatchSetAssociativeCache,
+    BatchVictimCache,
+    make_vec_replacement,
 )
 from repro.trace.batching import strided_vector_arrays, to_arrays
 from repro.trace.generators import (
@@ -69,18 +73,20 @@ def batch_of(trace):
 
 def build_pair(scheme, ways=2, size=8192, block=32,
                write_policy=WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
-               classify=False):
+               classify=False, replacement=None):
     """A (scalar, batch) cache pair with identical configuration."""
     num_sets = size // (block * ways)
     scalar = SetAssociativeCache(
         size, block, ways,
         index_function=make_index_function(scheme, num_sets, ways=ways,
                                            address_bits=19),
+        replacement=replacement,
         write_policy=write_policy, classify_misses=classify)
     batch = BatchSetAssociativeCache(
         size, block, ways,
         index_function=make_index_function(scheme, num_sets, ways=ways,
                                            address_bits=19),
+        replacement=replacement,
         write_policy=write_policy, classify_misses=classify)
     return scalar, batch
 
@@ -152,6 +158,165 @@ def test_column_associative_equivalence(trace_name, swap):
     assert scalar.average_probes == batch.average_probes
 
 
+# --------------------------------------------------------------------- #
+# replacement policy x organisation grid
+# --------------------------------------------------------------------- #
+
+#: Traces for the replacement grid: one store-free, one store-heavy.
+POLICY_TRACES = ("multi-array", "random")
+
+
+@pytest.mark.parametrize("trace_name", POLICY_TRACES)
+@pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+class TestReplacementEquivalence:
+    """Every replacement policy is bit-exact across engines, per organisation.
+
+    Four policies x {conventional set-assoc, skewed I-Poly, column-assoc,
+    victim} — including identical deterministic random-victim sequences from
+    the shared counter-based generator.
+    """
+
+    def test_set_associative(self, policy, trace_name):
+        scalar, batch = build_pair("a2", replacement=policy,
+                                   write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+    def test_skewed(self, policy, trace_name):
+        scalar, batch = build_pair("a2-Hp-Sk", ways=4, replacement=policy,
+                                   write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+    def test_column_associative(self, policy, trace_name):
+        # The organisation has no replacement freedom (direct-mapped per
+        # probe location): every policy must reproduce the identical — and
+        # cross-engine bit-exact — behaviour.
+        trace = list(TRACES[trace_name]())
+        scalar = ColumnAssociativeCache(8192, 32, address_bits=19,
+                                        replacement=policy)
+        batch = BatchColumnAssociativeCache(8192, 32, address_bits=19,
+                                            replacement=policy)
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        vec_hits = batch.run(batch_of(trace))
+        np.testing.assert_array_equal(ref_hits, vec_hits)
+        assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+        assert scalar.first_probe_hits == batch.first_probe_hits
+        assert scalar.second_probe_hits == batch.second_probe_hits
+
+    def test_victim(self, policy, trace_name):
+        trace = list(TRACES[trace_name]())
+        scalar = VictimCache(4096, 32, ways=1, victim_entries=8,
+                             replacement=policy)
+        batch = BatchVictimCache(4096, 32, ways=1, victim_entries=8,
+                                 replacement=policy)
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        vec_hits = batch.run(batch_of(trace))
+        np.testing.assert_array_equal(ref_hits, vec_hits)
+        assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+        assert scalar.main_hits == batch.main_hits
+        assert scalar.victim_hits == batch.victim_hits
+        assert scalar.miss_ratio == batch.miss_ratio
+        assert scalar.victim_hit_ratio == batch.victim_hit_ratio
+
+
+@pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+def test_victim_cache_with_skewed_main_and_stores(policy):
+    """Victim kernel with a 2-way I-Poly-skewed main cache, store-heavy."""
+    trace = list(random_accesses(4000, 24 * 1024, write_fraction=0.35,
+                                 seed=17))
+    index = lambda: make_index_function("a2-Hp-Sk", 64, ways=2,
+                                        address_bits=19)
+    scalar = VictimCache(4096, 32, ways=2, victim_entries=4,
+                         index_function=index(), replacement=policy)
+    batch = BatchVictimCache(4096, 32, ways=2, victim_entries=4,
+                             index_function=index(), replacement=policy)
+    ref_hits = scalar_hit_sequence(scalar, trace)
+    vec_hits = batch.run(batch_of(trace))
+    np.testing.assert_array_equal(ref_hits, vec_hits)
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+    assert scalar.main_hits == batch.main_hits
+    assert scalar.victim_hits == batch.victim_hits
+
+
+@pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+def test_warm_continuity_with_policies(policy):
+    """Split-batch runs of the policy kernel stay bit-exact with one scalar
+    pass, proving the NumPy state tables round-trip between batches."""
+    scalar, batch = build_pair("a2-Hp-Sk", replacement=policy,
+                               write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    first = list(random_accesses(1500, 32 * 1024, write_fraction=0.3, seed=5))
+    second = list(random_accesses(1500, 32 * 1024, write_fraction=0.3, seed=6))
+    ref_hits = scalar_hit_sequence(scalar, first + second)
+    vec_hits = np.concatenate([batch.run(batch_of(first)),
+                               batch.run(batch_of(second))])
+    np.testing.assert_array_equal(ref_hits, vec_hits)
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+    assert sorted(scalar.resident_blocks()) == sorted(batch.resident_blocks())
+
+
+def test_vec_replacement_state_tables_are_numpy_resident():
+    """Between runs the policy state lives in inspectable NumPy arrays."""
+    scalar, batch = build_pair("a2", replacement="plru")
+    batch.run(batch_of(list(TRACES["random"]())))
+    policy = batch._vec_policy
+    assert policy.bits.shape == (batch.num_sets, 1)   # 2-way tree: 1 bit/set
+    assert policy.stamps.shape == (batch.ways, batch.num_sets)
+    assert policy.bits.any()
+
+
+def test_vec_random_consumes_shared_draw_sequence():
+    """The vectorized random policy consumes splitmix64(seed + n) draws."""
+    vec = make_vec_replacement("random", ways=4, num_sets=8)
+    vec.kernel_begin()
+    picks = [vec.victim([0, 0, 0, 0]) for _ in range(10)]
+    vec.kernel_end()
+    from repro.cache.replacement import splitmix64
+    assert picks == [splitmix64(vec.seed + n) % 4 for n in range(10)]
+    assert vec.counter == 10
+
+
+def test_batch_cache_honours_random_policy_instance_seed():
+    """A configured RandomReplacement instance must mean the same victim
+    sequence on both engines — the seed travels into the vec state tables."""
+    from repro.cache.replacement import RandomReplacement
+
+    trace = list(random_accesses(4000, 64 * 1024, write_fraction=0.3, seed=9))
+    scalar = SetAssociativeCache(2048, 32, 2,
+                                 replacement=RandomReplacement(seed=42))
+    batch = BatchSetAssociativeCache(2048, 32, 2,
+                                     replacement=RandomReplacement(seed=42))
+    assert_equivalent(scalar, batch, trace)
+
+    scalar = VictimCache(1024, 32, ways=1, victim_entries=4,
+                         replacement=RandomReplacement(seed=42))
+    batch = BatchVictimCache(1024, 32, ways=1, victim_entries=4,
+                             replacement=RandomReplacement(seed=42))
+    ref_hits = scalar_hit_sequence(scalar, trace)
+    vec_hits = batch.run(batch_of(trace))
+    np.testing.assert_array_equal(ref_hits, vec_hits)
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+
+
+@pytest.mark.parametrize("ways", [3, 5])
+def test_plru_equivalence_with_non_power_of_two_ways(ways):
+    """Ragged PLRU trees (non-power-of-two associativity) stay bit-exact
+    across engines and can evict every way."""
+    trace = list(random_accesses(6000, 64 * 1024, write_fraction=0.3,
+                                 seed=ways))
+    size = 128 * 32 * ways
+    scalar = SetAssociativeCache(size, 32, ways, replacement="plru")
+    batch = BatchSetAssociativeCache(size, 32, ways, replacement="plru")
+    assert_equivalent(scalar, batch, trace)
+
+
+def test_batch_cache_rejects_unknown_replacement():
+    with pytest.raises(ValueError):
+        BatchSetAssociativeCache(8192, 32, 2, replacement="mru")
+    with pytest.raises(ValueError):
+        BatchVictimCache(4096, 32, replacement="mru")
+    with pytest.raises(ValueError):
+        BatchColumnAssociativeCache(8192, 32, replacement="mru")
+
+
 def test_warm_cache_continuity():
     """A vectorized cold run followed by a warm run stays bit-exact.
 
@@ -214,6 +379,36 @@ def test_deep_equivalence_grid(scheme, ways, write_policy):
     trace = list(random_accesses(40_000, 256 * 1024, write_fraction=0.25,
                                  seed=sum(map(ord, scheme)) + ways))
     assert_equivalent(scalar, batch, trace)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+@pytest.mark.parametrize("scheme", ["a2", "a2-Hp-Sk"])
+@pytest.mark.parametrize("ways", [2, 4])
+def test_deep_replacement_grid(policy, scheme, ways):
+    scalar, batch = build_pair(scheme, ways=ways, replacement=policy,
+                               write_policy=WritePolicy.WRITE_BACK_ALLOCATE,
+                               classify=True)
+    trace = list(random_accesses(40_000, 256 * 1024, write_fraction=0.25,
+                                 seed=sum(map(ord, policy)) + ways))
+    assert_equivalent(scalar, batch, trace)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+def test_deep_victim_equivalence(policy):
+    trace = list(random_accesses(40_000, 128 * 1024, write_fraction=0.25,
+                                 seed=sum(map(ord, policy))))
+    scalar = VictimCache(8192, 32, ways=1, victim_entries=8,
+                         replacement=policy)
+    batch = BatchVictimCache(8192, 32, ways=1, victim_entries=8,
+                             replacement=policy)
+    ref_hits = scalar_hit_sequence(scalar, trace)
+    vec_hits = batch.run(batch_of(trace))
+    np.testing.assert_array_equal(ref_hits, vec_hits)
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+    assert scalar.main_hits == batch.main_hits
+    assert scalar.victim_hits == batch.victim_hits
 
 
 @pytest.mark.slow

@@ -114,9 +114,10 @@ def test_tabulated_ipoly_matches_gf2_mod(blocks, config, way):
     ways=ways_strategy,
     scheme=st.sampled_from(["a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"]),
     write_back=st.booleans(),
+    replacement=st.sampled_from(["lru", "fifo", "random", "plru"]),
 )
 def test_batch_cache_matches_scalar_on_random_traces(
-        addresses, writes, m, ways, scheme, write_back):
+        addresses, writes, m, ways, scheme, write_back, replacement):
     num_sets = 1 << m
     block = 16
     size = num_sets * block * ways
@@ -135,11 +136,13 @@ def test_batch_cache_matches_scalar_on_random_traces(
         size, block, ways,
         index_function=make_index_function(scheme, num_sets, ways=ways,
                                            address_bits=19),
+        replacement=replacement,
         write_policy=policy)
     batch = BatchSetAssociativeCache(
         size, block, ways,
         index_function=make_index_function(scheme, num_sets, ways=ways,
                                            address_bits=19),
+        replacement=replacement,
         write_policy=policy)
     ref_hits = [scalar.access(a, w).hit for a, w in zip(addresses, is_write)]
     vec_hits = batch.run(AddressBatch.from_arrays(
@@ -152,6 +155,39 @@ def test_batch_cache_matches_scalar_on_random_traces(
     assert scalar.stats.evictions == batch.stats.evictions
     assert scalar.stats.writebacks == batch.stats.writebacks
     assert sorted(scalar.resident_blocks()) == sorted(batch.resident_blocks())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=250),
+    writes=st.data(),
+    entries=st.integers(1, 8),
+    ways=st.integers(1, 2),
+    replacement=st.sampled_from(["lru", "fifo", "random", "plru"]),
+)
+def test_batch_victim_cache_matches_scalar_on_random_traces(
+        addresses, writes, entries, ways, replacement):
+    from repro.cache.victim import VictimCache
+    from repro.engine import BatchVictimCache
+
+    is_write = writes.draw(st.lists(st.booleans(),
+                                    min_size=len(addresses),
+                                    max_size=len(addresses)))
+    scalar = VictimCache(1024, 16, ways=ways, victim_entries=entries,
+                         replacement=replacement)
+    batch = BatchVictimCache(1024, 16, ways=ways, victim_entries=entries,
+                             replacement=replacement)
+    ref_hits = [scalar.access(a, w).hit for a, w in zip(addresses, is_write)]
+    vec_hits = batch.run(AddressBatch.from_arrays(
+        np.array(addresses, dtype=np.uint64), np.array(is_write, dtype=bool)))
+    assert vec_hits.tolist() == ref_hits
+    assert scalar.main_hits == batch.main_hits
+    assert scalar.victim_hits == batch.victim_hits
+    assert scalar.stats.loads == batch.stats.loads
+    assert scalar.stats.stores == batch.stats.stores
+    assert scalar.stats.load_misses == batch.stats.load_misses
+    assert scalar.stats.store_misses == batch.stats.store_misses
+    assert scalar.stats.writebacks == batch.stats.writebacks
 
 
 @settings(max_examples=60, deadline=None)

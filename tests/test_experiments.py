@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.engine import chunk_tasks, run_sweep
 from repro.experiments.column_assoc_study import run_column_assoc_study
 from repro.experiments.config import (
     PAPER_L1_8KB,
@@ -15,6 +16,7 @@ from repro.experiments.critical_path import run_critical_path_study
 from repro.experiments.figure1 import run_figure1, stride_miss_ratio
 from repro.experiments.holes_study import run_holes_study
 from repro.experiments.miss_ratio_study import run_miss_ratio_study
+from repro.experiments.replacement_study import run_replacement_study
 from repro.experiments.table2 import miss_ratio_std_dev, run_table2
 from repro.experiments.table3 import run_table3
 
@@ -68,6 +70,34 @@ class TestFigure1:
             run_figure1(max_stride=1)
         with pytest.raises(ValueError):
             stride_miss_ratio("a2", 0)
+        with pytest.raises(ValueError):
+            run_figure1(max_stride=16, chunksize=0)
+
+
+class TestSweepChunking:
+    def test_chunk_tasks_groups_and_preserves_order(self):
+        tasks = list(range(10))
+        chunks = chunk_tasks(tasks, 4)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert [t for chunk in chunks for t in chunk] == tasks
+
+    def test_chunk_tasks_validation(self):
+        with pytest.raises(ValueError):
+            chunk_tasks([1, 2], 0)
+
+    def test_run_sweep_chunksize_passthrough(self):
+        # Serial path ignores chunksize; result order always preserved.
+        assert run_sweep(lambda x: x * x, [1, 2, 3], chunksize=2) == [1, 4, 9]
+        with pytest.raises(ValueError):
+            run_sweep(lambda x: x, [1], workers=2, chunksize=0)
+
+    def test_figure1_chunked_dispatch_matches_serial(self):
+        """Per-scheme chunked task batching must not change any ratio."""
+        serial = run_figure1(max_stride=41, stride_step=4, sweeps=4)
+        chunked = run_figure1(max_stride=41, stride_step=4, sweeps=4,
+                              workers=2, chunksize=3)
+        assert chunked.miss_ratios == serial.miss_ratios
+        assert chunked.summary() == serial.summary()
 
 
 class TestMissRatioStudy:
@@ -84,6 +114,65 @@ class TestMissRatioStudy:
     def test_validation(self):
         with pytest.raises(ValueError):
             run_miss_ratio_study(accesses=10)
+
+    def test_vectorized_victim_runs_native_kernel(self):
+        """The vectorized study must build BatchVictimCache — no scalar
+        replay fallback — and still agree with the reference engine."""
+        from repro.engine import BatchVictimCache
+        from repro.experiments.miss_ratio_study import (
+            default_batch_organisations,
+        )
+        victim = default_batch_organisations()["victim-direct+8"]()
+        assert isinstance(victim, BatchVictimCache)
+        ref = run_miss_ratio_study(programs=["gcc"], accesses=4_000,
+                                   engine="reference")
+        vec = run_miss_ratio_study(programs=["gcc"], accesses=4_000,
+                                   engine="vectorized")
+        assert ref.miss_ratios == vec.miss_ratios
+
+    def test_replacement_parameter_changes_results_consistently(self):
+        ref = run_miss_ratio_study(programs=["swim"], accesses=4_000,
+                                   engine="reference", replacement="fifo")
+        vec = run_miss_ratio_study(programs=["swim"], accesses=4_000,
+                                   engine="vectorized", replacement="fifo")
+        assert ref.miss_ratios == vec.miss_ratios
+
+
+class TestReplacementStudy:
+    def test_engines_agree_exactly(self):
+        ref = run_replacement_study(programs=["gcc", "swim"], accesses=3_000,
+                                    engine="reference")
+        vec = run_replacement_study(programs=["gcc", "swim"], accesses=3_000,
+                                    engine="vectorized")
+        assert ref.miss_ratios == vec.miss_ratios
+
+    def test_structure_and_summary(self):
+        result = run_replacement_study(programs=["gcc"], accesses=3_000,
+                                       engine="vectorized")
+        assert result.policies == ["lru", "fifo", "random", "plru"]
+        assert set(result.organisations) == {
+            "conventional-2way", "skewed-ipoly-2way", "victim-direct+8"}
+        for organisation in result.organisations:
+            assert result.policy_spread(organisation) >= 0.0
+            assert result.lru_penalty(organisation, "lru") == 0.0
+        text = result.render()
+        assert "replacement sensitivity" in text and "plru" in text
+
+    def test_two_way_plru_equals_lru(self):
+        """Tree-PLRU over two ways *is* LRU — a structural sanity check the
+        sweep should reproduce on the set-associative organisations."""
+        result = run_replacement_study(programs=["gcc"], accesses=3_000,
+                                       policies=["lru", "plru"],
+                                       engine="vectorized")
+        for organisation in ("conventional-2way", "skewed-ipoly-2way"):
+            row = result.miss_ratios[organisation]
+            assert row["plru"] == row["lru"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_replacement_study(accesses=10)
+        with pytest.raises(ValueError):
+            run_replacement_study(policies=["mru"], accesses=3_000)
 
 
 class TestHolesStudy:

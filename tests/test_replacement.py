@@ -1,14 +1,22 @@
-"""Unit tests for cache blocks and replacement policies."""
+"""Unit tests for cache blocks and the externalized replacement policies."""
 
 import pytest
 
 from repro.cache.block import CacheBlock
+from repro.cache.fully_assoc import FullyAssociativeCache
 from repro.cache.replacement import (
+    DEFAULT_RANDOM_SEED,
+    REPLACEMENT_POLICIES,
     FIFOReplacement,
     LRUReplacement,
     RandomReplacement,
     TreePLRUReplacement,
     make_replacement_policy,
+    plru_touch,
+    plru_tree_size,
+    plru_victim,
+    resolve_replacement,
+    splitmix64,
 )
 
 
@@ -44,90 +52,248 @@ class TestCacheBlock:
             CacheBlock().fill(-1, now=0)
 
 
-def _candidates(*specs):
-    """Build (way, set_index, frame) candidates from (inserted, last_used) pairs."""
-    result = []
-    for way, (inserted, last_used) in enumerate(specs):
-        frame = CacheBlock()
-        frame.fill(way + 100, now=inserted)
-        frame.last_used_at = last_used
-        result.append((way, 0, frame))
-    return result
+def bound(policy, ways=4, num_sets=2):
+    policy.bind(ways, num_sets)
+    return policy
+
+
+class TestInterface:
+    def test_unbound_policy_rejects_victim_choice(self):
+        with pytest.raises(RuntimeError):
+            LRUReplacement().choose_victim([(0, 0), (1, 0)])
+
+    def test_bind_validates_geometry(self):
+        with pytest.raises(ValueError):
+            LRUReplacement().bind(0, 4)
+        with pytest.raises(ValueError):
+            LRUReplacement().bind(2, 0)
+
+    def test_rebinding_a_policy_instance_is_rejected(self):
+        """One policy instance holds one cache's state: sharing it between
+        two caches must fail loudly instead of corrupting both."""
+        policy = LRUReplacement()
+        policy.bind(2, 64)
+        with pytest.raises(RuntimeError):
+            policy.bind(2, 8)
+        from repro.cache.set_assoc import SetAssociativeCache
+        shared = TreePLRUReplacement()
+        SetAssociativeCache(2048, 32, 2, replacement=shared)
+        with pytest.raises(RuntimeError):
+            SetAssociativeCache(512, 32, 2, replacement=shared)
+
+    def test_clone_replacement_carries_configuration_not_state(self):
+        from repro.cache.replacement import clone_replacement
+        original = RandomReplacement(seed=123)
+        original.bind(2, 4)
+        original.choose_victim([(0, 0), (1, 0)])
+        clone = clone_replacement(original)
+        assert isinstance(clone, RandomReplacement)
+        assert clone.seed == 123
+        assert clone.ways == 0  # unbound
+        assert clone.draws == 0  # stateless
+        assert isinstance(clone_replacement("plru"), TreePLRUReplacement)
+        assert isinstance(clone_replacement(None), LRUReplacement)
+
+    def test_resolve_replacement(self):
+        assert isinstance(resolve_replacement(None), LRUReplacement)
+        assert isinstance(resolve_replacement("fifo"), FIFOReplacement)
+        policy = TreePLRUReplacement()
+        assert resolve_replacement(policy) is policy
+        with pytest.raises(TypeError):
+            resolve_replacement(42)
 
 
 class TestLRU:
     def test_evicts_least_recently_used(self):
-        policy = LRUReplacement()
-        candidates = _candidates((1, 10), (2, 5), (3, 20))
+        policy = bound(LRUReplacement(), ways=3, num_sets=1)
+        policy.on_fill(0, 0, now=1)
+        policy.on_fill(1, 0, now=2)
+        policy.on_fill(2, 0, now=3)
+        policy.on_hit(0, 0, now=10)
+        candidates = [(0, 0), (1, 0), (2, 0)]
         assert policy.choose_victim(candidates) == (1, 0)
 
     def test_tie_broken_by_way(self):
-        policy = LRUReplacement()
-        candidates = _candidates((1, 5), (2, 5))
-        assert policy.choose_victim(candidates) == (0, 0)
+        policy = bound(LRUReplacement(), ways=2, num_sets=1)
+        # Both frames untouched: identical timestamps, way 0 wins.
+        assert policy.choose_victim([(0, 0), (1, 0)]) == (0, 0)
+
+    def test_state_is_per_set(self):
+        policy = bound(LRUReplacement(), ways=2, num_sets=2)
+        policy.on_fill(0, 0, now=1)
+        policy.on_fill(1, 0, now=2)
+        policy.on_fill(0, 1, now=4)
+        policy.on_fill(1, 1, now=3)
+        assert policy.choose_victim([(0, 0), (1, 0)]) == (0, 0)
+        assert policy.choose_victim([(0, 1), (1, 1)]) == (1, 1)
 
 
 class TestFIFO:
-    def test_evicts_oldest_insertion(self):
-        policy = FIFOReplacement()
-        candidates = _candidates((5, 100), (1, 200), (9, 1))
-        assert policy.choose_victim(candidates) == (1, 0)
+    def test_evicts_oldest_insertion_despite_hits(self):
+        policy = bound(FIFOReplacement(), ways=3, num_sets=1)
+        policy.on_fill(0, 0, now=5)
+        policy.on_fill(1, 0, now=1)
+        policy.on_fill(2, 0, now=9)
+        policy.on_hit(1, 0, now=200)  # hits must not refresh FIFO order
+        assert policy.choose_victim([(0, 0), (1, 0), (2, 0)]) == (1, 0)
 
 
 class TestRandom:
-    def test_deterministic_for_fixed_seed(self):
-        a = RandomReplacement(seed=99)
-        b = RandomReplacement(seed=99)
-        candidates = _candidates((1, 1), (2, 2), (3, 3), (4, 4))
+    def test_counter_based_draws_are_deterministic(self):
+        a = bound(RandomReplacement(seed=99))
+        b = bound(RandomReplacement(seed=99))
+        candidates = [(w, 0) for w in range(4)]
         picks_a = [a.choose_victim(candidates) for _ in range(20)]
         picks_b = [b.choose_victim(candidates) for _ in range(20)]
         assert picks_a == picks_b
 
+    def test_nth_draw_is_pure_function_of_seed_and_counter(self):
+        policy = bound(RandomReplacement(seed=7))
+        candidates = [(w, 0) for w in range(4)]
+        picks = [policy.choose_victim(candidates) for _ in range(10)]
+        expected = [(splitmix64(7 + n) % 4, 0) for n in range(10)]
+        assert [(way, 0) for way, _ in picks] == expected
+        assert policy.draws == 10
+
     def test_picks_are_valid_candidates(self):
-        policy = RandomReplacement()
-        candidates = _candidates((1, 1), (2, 2), (3, 3))
+        policy = bound(RandomReplacement())
+        assert policy.seed == DEFAULT_RANDOM_SEED
+        candidates = [(w, 0) for w in range(3)]
         for _ in range(50):
             way, set_index = policy.choose_victim(candidates)
             assert way in (0, 1, 2)
             assert set_index == 0
 
     def test_reset_restores_sequence(self):
-        policy = RandomReplacement(seed=7)
-        candidates = _candidates((1, 1), (2, 2), (3, 3), (4, 4))
+        policy = bound(RandomReplacement(seed=7))
+        candidates = [(w, 0) for w in range(4)]
         first = [policy.choose_victim(candidates) for _ in range(10)]
         policy.reset()
         second = [policy.choose_victim(candidates) for _ in range(10)]
         assert first == second
 
-    def test_zero_seed_rejected(self):
-        with pytest.raises(ValueError):
-            RandomReplacement(seed=0)
-
 
 class TestTreePLRU:
     def test_falls_back_to_lru_for_skewed_candidates(self):
-        policy = TreePLRUReplacement()
-        frame_a, frame_b = CacheBlock(), CacheBlock()
-        frame_a.fill(1, now=1)
-        frame_b.fill(2, now=2)
-        # Different set indices -> skewed cache shape.
-        assert policy.choose_victim([(0, 3, frame_a), (1, 9, frame_b)]) == (0, 3)
+        policy = bound(TreePLRUReplacement(), ways=2, num_sets=16)
+        policy.on_fill(0, 3, now=1)
+        policy.on_fill(1, 9, now=2)
+        # Different set indices -> skewed cache shape -> timestamp fallback.
+        assert policy.choose_victim([(0, 3), (1, 9)]) == (0, 3)
 
     def test_victim_rotates_away_from_touched_way(self):
-        policy = TreePLRUReplacement()
-        frames = _candidates((1, 1), (2, 2), (3, 3), (4, 4))
-        way, _ = policy.choose_victim(frames)
-        # Touch the chosen way: the next victim must differ.
-        policy.on_access(way, 0, frames[way][2], now=100)
-        next_way, _ = policy.choose_victim(frames)
+        policy = bound(TreePLRUReplacement(), ways=4, num_sets=1)
+        candidates = [(w, 0) for w in range(4)]
+        way, _ = policy.choose_victim(candidates)
+        policy.on_hit(way, 0, now=100)
+        next_way, _ = policy.choose_victim(candidates)
         assert next_way != way
 
+    def test_two_way_plru_is_exact_lru(self):
+        plru = bound(TreePLRUReplacement(), ways=2, num_sets=4)
+        lru = bound(LRUReplacement(), ways=2, num_sets=4)
+        accesses = [(0, 1), (1, 1), (0, 1), (1, 2), (0, 2)]
+        for now, (way, s) in enumerate(accesses, start=1):
+            plru.on_hit(way, s, now)
+            lru.on_hit(way, s, now)
+        for s in (1, 2):
+            assert (plru.choose_victim([(0, s), (1, s)])
+                    == lru.choose_victim([(0, s), (1, s)]))
+
     def test_reset_clears_state(self):
-        policy = TreePLRUReplacement()
-        frames = _candidates((1, 1), (2, 2))
-        policy.choose_victim(frames)
+        policy = bound(TreePLRUReplacement(), ways=4, num_sets=2)
+        policy.on_hit(2, 0, now=1)
+        assert any(any(bits) for bits in policy._bits)
         policy.reset()
-        assert policy._bits == {}
+        assert not any(any(bits) for bits in policy._bits)
+        assert all(stamp == 0 for row in policy._stamp for stamp in row)
+
+
+class TestPLRUTreePrimitives:
+    def test_tree_size(self):
+        assert plru_tree_size(1) == 1
+        assert plru_tree_size(2) == 1
+        assert plru_tree_size(8) == 7
+
+    def test_single_way_victim_is_way_zero(self):
+        bits = [False]
+        assert plru_victim(bits, 1) == 0
+        plru_touch(bits, 0, 1)  # must be a no-op
+        assert bits == [False]
+
+    @pytest.mark.parametrize("ways", [2, 3, 4, 5, 6, 7, 8])
+    def test_full_rotation_covers_all_ways(self, ways):
+        """Touching the victim each round cycles through every way — also
+        for ragged (non-power-of-two) trees, whose pre-order node packing
+        must keep the highest ways reachable."""
+        bits = [False] * plru_tree_size(ways)
+        seen = set()
+        for _ in range(4 * ways):
+            victim = plru_victim(bits, ways)
+            assert 0 <= victim < ways
+            seen.add(victim)
+            plru_touch(bits, victim, ways)
+        assert seen == set(range(ways))
+
+    @pytest.mark.parametrize("ways", [3, 5, 6])
+    def test_ragged_tree_never_walks_outside_the_bit_table(self, ways):
+        """Every touch/victim walk stays within the ways-1 bit table for
+        every possible bit pattern and way."""
+        size = plru_tree_size(ways)
+        for pattern in range(1 << size):
+            bits = [bool(pattern >> i & 1) for i in range(size)]
+            assert 0 <= plru_victim(list(bits), ways) < ways
+            for way in range(ways):
+                plru_touch(list(bits), way, ways)  # must not raise
+
+
+class TestPLRUCornerCasesThroughCache:
+    """Scalar tree-PLRU corner cases exercised through a real cache."""
+
+    def _full_cache(self):
+        # 4 frames of 32 bytes, fully associative, PLRU.
+        cache = FullyAssociativeCache(128, 32, replacement="plru")
+        for block in range(4):
+            cache.access_block(block)
+        return cache
+
+    def test_invalidate_then_fill_reuses_the_invalidated_frame(self):
+        """Refill ordering: an invalidated frame is refilled before any
+        eviction, regardless of what the PLRU bits point at."""
+        cache = self._full_cache()
+        assert cache.invalidate_block(2)
+        result = cache.access_block(7)
+        assert not result.hit
+        assert result.evicted_block is None  # reused the invalid frame
+        assert sorted(cache.resident_blocks()) == [0, 1, 3, 7]
+        # The next miss *does* evict (all frames valid again).
+        result = cache.access_block(8)
+        assert result.evicted_block is not None
+
+    def test_refilled_frame_is_protected_from_immediate_eviction(self):
+        """Refilling must touch the tree: the just-refilled way cannot be
+        the next victim."""
+        cache = self._full_cache()
+        cache.invalidate_block(1)
+        refill = cache.access_block(9)
+        evict = cache.access_block(10)
+        assert evict.way != refill.way
+        assert evict.evicted_block != 9
+
+    def test_reset_after_flush_restores_cold_behaviour(self):
+        """flush() must reset the PLRU bit-trees: a flushed cache replays a
+        trace exactly like a fresh one."""
+        trace = [0, 1, 2, 3, 1, 4, 0, 5, 2, 6, 3, 1, 7, 0]
+        warm = FullyAssociativeCache(128, 32, replacement="plru")
+        for block in trace:
+            warm.access_block(block)
+        warm.flush()
+        assert not any(any(bits) for bits in warm.replacement._bits)
+        fresh = FullyAssociativeCache(128, 32, replacement="plru")
+        replay = [(warm.access_block(b).hit, fresh.access_block(b).hit)
+                  for b in trace]
+        assert [w for w, _ in replay] == [f for _, f in replay]
+        assert sorted(warm.resident_blocks()) == sorted(fresh.resident_blocks())
 
 
 class TestFactory:
@@ -138,7 +304,10 @@ class TestFactory:
         ("plru", TreePLRUReplacement),
     ])
     def test_known_names(self, name, cls):
-        assert isinstance(make_replacement_policy(name), cls)
+        policy = make_replacement_policy(name)
+        assert isinstance(policy, cls)
+        assert policy.name == name
+        assert name in REPLACEMENT_POLICIES
 
     def test_unknown_name(self):
         with pytest.raises(ValueError):
