@@ -109,6 +109,22 @@ class IndexFunction(abc.ABC):
         """How many low-order block-number bits influence the index."""
         return self._index_bits
 
+    @property
+    def cache_key(self):
+        """Hashable description of the mapping, or ``None`` if unknown.
+
+        Two index functions with equal ``cache_key`` compute identical
+        ``index(block, way)`` for every input — which is what lets sweeps
+        memoise per-scheme set-index arrays across tasks that each build
+        their own (semantically identical) function instance.  The default
+        is ``None``, meaning "not memoisable", and every concrete key below
+        is guarded by an exact ``type(self)`` check: a subclass that
+        overrides ``index`` (or adds mapping-affecting parameters) must
+        declare its *own* key before it participates, so an unknown
+        function can never be served another one's arrays.
+        """
+        return None
+
     @abc.abstractmethod
     def index(self, block_number: int, way: int = 0) -> int:
         """Return the set index for ``block_number`` in ``way``."""
@@ -129,6 +145,12 @@ class BitSelectIndexing(IndexFunction):
     """
 
     name = "a2"
+
+    @property
+    def cache_key(self):
+        if type(self) is not BitSelectIndexing:
+            return None
+        return ("bit-select", self._num_sets)
 
     def index(self, block_number: int, way: int = 0) -> int:
         _check_block_and_way(block_number, way)
@@ -157,6 +179,12 @@ class XorFoldIndexing(IndexFunction):
     @property
     def address_bits_used(self) -> int:
         return 2 * self._index_bits
+
+    @property
+    def cache_key(self):
+        if type(self) is not XorFoldIndexing:
+            return None
+        return ("xor-fold", self._num_sets, self._skewed)
 
     def _rotate(self, field: int, amount: int) -> int:
         m = self._index_bits
@@ -258,6 +286,13 @@ class IPolyIndexing(IndexFunction):
         """The polynomial used by each way (length 1 when not skewed)."""
         return list(self._polynomials)
 
+    @property
+    def cache_key(self):
+        if type(self) is not IPolyIndexing:
+            return None
+        return ("ipoly", self._num_sets, self._skewed, self._address_bits,
+                tuple(self._polynomials))
+
     def polynomial_for_way(self, way: int) -> int:
         """Return the modulus polynomial used by ``way``."""
         if way < 0:
@@ -297,6 +332,12 @@ class PrimeModuloIndexing(IndexFunction):
         """Number of sets that can ever be selected."""
         return self._prime
 
+    @property
+    def cache_key(self):
+        if type(self) is not PrimeModuloIndexing:
+            return None
+        return ("prime-modulo", self._num_sets)
+
     def index(self, block_number: int, way: int = 0) -> int:
         _check_block_and_way(block_number, way)
         return block_number % self._prime
@@ -309,6 +350,12 @@ class SingleSetIndexing(IndexFunction):
 
     def __init__(self) -> None:
         super().__init__(1)
+
+    @property
+    def cache_key(self):
+        if type(self) is not SingleSetIndexing:
+            return None
+        return ("single-set",)
 
     def index(self, block_number: int, way: int = 0) -> int:
         _check_block_and_way(block_number, way)

@@ -26,7 +26,18 @@ from .batch_cache import (
     BatchVictimCache,
 )
 from .index_vec import GF2RemainderTable, VectorizedIndex, vectorize_index
-from .replacement_vec import VecReplacementState, make_vec_replacement
+from .memo import (
+    cached_block_numbers,
+    cached_set_indices,
+    memo_clear,
+    memo_info,
+)
+from .replacement_vec import (
+    VecReplacementState,
+    make_vec_replacement,
+    splitmix64_array,
+)
+from .set_decompose import group_by_set, run_decomposed_policy
 from .sweep import chunk_tasks, run_sweep
 from .tabulated import TabulatedIPolyIndexing, tabulate_index_function
 
@@ -42,6 +53,13 @@ __all__ = [
     "BatchVictimCache",
     "VecReplacementState",
     "make_vec_replacement",
+    "splitmix64_array",
+    "group_by_set",
+    "run_decomposed_policy",
+    "cached_block_numbers",
+    "cached_set_indices",
+    "memo_info",
+    "memo_clear",
     "GF2RemainderTable",
     "VectorizedIndex",
     "vectorize_index",

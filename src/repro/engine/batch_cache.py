@@ -31,20 +31,35 @@ and batch:
    and displaced-block-retreat behaviour of
    :class:`~repro.cache.column_assoc.ColumnAssociativeCache` exactly.
 
-4. **Generic replacement kernel** (any skew, non-LRU policies): the
-   ``replacement`` parameter accepts the same short names as the scalar
-   caches (``lru``, ``fifo``, ``random``, ``plru``); non-LRU policies run a
-   per-way flat-list kernel whose decisions come from the NumPy-backed state
-   tables in :mod:`repro.engine.replacement_vec` — bit-exact with the scalar
-   policies (including identical deterministic random-victim sequences).
-   LRU keeps the specialised fast paths above.
+4. **Set-decomposed replacement kernels** (non-skewed, non-LRU, no 3C
+   classifier): the ``replacement`` parameter accepts the same short names
+   as the scalar caches (``lru``, ``fifo``, ``random``, ``plru``); on a
+   conventional (non-skewed) organisation the non-LRU policies run the
+   policy-specific kernels of :mod:`repro.engine.set_decompose` — accesses
+   grouped per set, dense local state, FIFO hit-transparency, a precomputed
+   vectorized ``splitmix64`` draw table for random — bit-exact with the
+   scalar policies (including identical deterministic random-victim
+   sequences).  LRU keeps the specialised fast paths above.
 
-5. **Victim-cache kernel** (:class:`BatchVictimCache`): the main cache and
+5. **Generic replacement kernel** (skewed non-LRU, or any non-LRU cache
+   with the 3C classifier enabled, whose capacity/conflict split needs
+   global trace order): a per-way flat-list kernel whose decisions come
+   from the NumPy-backed state tables in
+   :mod:`repro.engine.replacement_vec`.  It shares those state tables with
+   the set-decomposed kernels, so the two can serve the same cache
+   interchangeably — and the differential suite pits them against each
+   other as well as against the scalar models.
+
+6. **Victim-cache kernel** (:class:`BatchVictimCache`): the main cache and
    its fully-associative victim buffer in one tight loop over
    pre-vectorized indices, replicating
    :class:`~repro.cache.victim.VictimCache` — swap-on-victim-hit, displaced
    lines stashed in the buffer, dirty lines falling out of the buffer
    counted as writebacks — exactly.
+
+Block-number and set-index arrays are obtained through the sweep-wide memo
+tables of :mod:`repro.engine.memo`, so tasks that share one materialised
+trace (see :mod:`repro.trace.batching`) also share the derived arrays.
 """
 
 from __future__ import annotations
@@ -63,7 +78,9 @@ from ..cache.stats import CacheStats, MissClassifier, MissKind
 from ..core.index import BitSelectIndexing, IndexFunction, IPolyIndexing
 from .batch import AddressBatch
 from .index_vec import VectorizedIndex, _VecIPoly, vectorize_index
+from .memo import cached_block_numbers, cached_set_indices
 from .replacement_vec import VecReplacementState, make_vec_replacement
+from .set_decompose import run_decomposed_policy
 
 __all__ = [
     "BatchSetAssociativeCache",
@@ -243,8 +260,12 @@ class BatchSetAssociativeCache:
         n = len(batch)
         if n == 0:
             return np.zeros(0, dtype=bool)
-        blocks = batch.block_numbers(self._block_size)
+        blocks = cached_block_numbers(batch, self._block_size)
         if self._vec_policy is not None:
+            if not self._skewed and self._classifier is None:
+                sets = cached_set_indices(self._vec_index, blocks, 0)
+                return run_decomposed_policy(self, blocks, sets,
+                                             batch.is_write)
             return self._run_policy_kernel(blocks, batch.is_write)
         if (not self._skewed and self._ways <= 2 and self._classifier is None
                 and self._clock == 0 and not batch.has_stores):
@@ -258,7 +279,7 @@ class BatchSetAssociativeCache:
     def _run_vectorized(self, blocks: np.ndarray) -> np.ndarray:
         n = blocks.shape[0]
         ways = self._ways
-        sets = self._vec_index.way_indices(blocks, 0).astype(np.int64)
+        sets = cached_set_indices(self._vec_index, blocks, 0)
 
         order = np.argsort(sets, kind="stable")
         gb = blocks[order]
@@ -322,7 +343,7 @@ class BatchSetAssociativeCache:
     def _run_dict_kernel(self, blocks: np.ndarray,
                          is_write: np.ndarray) -> np.ndarray:
         n = blocks.shape[0]
-        sets_l = self._vec_index.way_indices(blocks, 0).astype(np.int64).tolist()
+        sets_l = cached_set_indices(self._vec_index, blocks, 0).tolist()
         blocks_l = blocks.tolist()
         writes_l = is_write.tolist()
         sets_state = self._sets
@@ -392,8 +413,8 @@ class BatchSetAssociativeCache:
     def _run_skewed_kernel_2way(self, blocks: np.ndarray,
                                 is_write: np.ndarray) -> np.ndarray:
         n = blocks.shape[0]
-        s0_l = self._vec_index.way_indices(blocks, 0).astype(np.int64).tolist()
-        s1_l = self._vec_index.way_indices(blocks, 1).astype(np.int64).tolist()
+        s0_l = cached_set_indices(self._vec_index, blocks, 0).tolist()
+        s1_l = cached_set_indices(self._vec_index, blocks, 1).tolist()
         blocks_l = blocks.tolist()
         writes_l = is_write.tolist()
         t0, t1 = self._way_tags
@@ -490,7 +511,7 @@ class BatchSetAssociativeCache:
                                    is_write: np.ndarray) -> np.ndarray:
         n = blocks.shape[0]
         ways = self._ways
-        way_sets = [self._vec_index.way_indices(blocks, w).astype(np.int64).tolist()
+        way_sets = [cached_set_indices(self._vec_index, blocks, w).tolist()
                     for w in range(ways)]
         blocks_l = blocks.tolist()
         writes_l = is_write.tolist()
@@ -582,12 +603,11 @@ class BatchSetAssociativeCache:
         ways = self._ways
         if self._skewed:
             way_sets = [
-                self._vec_index.way_indices(blocks, w).astype(np.int64).tolist()
+                cached_set_indices(self._vec_index, blocks, w).tolist()
                 for w in range(ways)
             ]
         else:
-            shared = self._vec_index.way_indices(blocks, 0).astype(
-                np.int64).tolist()
+            shared = cached_set_indices(self._vec_index, blocks, 0).tolist()
             way_sets = [shared] * ways
         blocks_l = blocks.tolist()
         writes_l = is_write.tolist()
@@ -781,9 +801,9 @@ class BatchColumnAssociativeCache:
         n = len(batch)
         if n == 0:
             return np.zeros(0, dtype=bool)
-        blocks = batch.block_numbers(self._block_size)
-        prim_l = self._vec_primary.way_indices(blocks, 0).astype(np.int64).tolist()
-        sec_l = self._vec_secondary.way_indices(blocks, 0).astype(np.int64).tolist()
+        blocks = cached_block_numbers(batch, self._block_size)
+        prim_l = cached_set_indices(self._vec_primary, blocks, 0).tolist()
+        sec_l = cached_set_indices(self._vec_secondary, blocks, 0).tolist()
         blocks_l = blocks.tolist()
         writes_l = batch.is_write.tolist()
         tags = self._tags
@@ -993,16 +1013,15 @@ class BatchVictimCache:
         n = len(batch)
         if n == 0:
             return np.zeros(0, dtype=bool)
-        blocks = batch.block_numbers(self._block_size)
+        blocks = cached_block_numbers(batch, self._block_size)
         ways = self._ways
         if self._skewed:
             way_sets = [
-                self._vec_index.way_indices(blocks, w).astype(np.int64).tolist()
+                cached_set_indices(self._vec_index, blocks, w).tolist()
                 for w in range(ways)
             ]
         else:
-            shared = self._vec_index.way_indices(blocks, 0).astype(
-                np.int64).tolist()
+            shared = cached_set_indices(self._vec_index, blocks, 0).tolist()
             way_sets = [shared] * ways
         blocks_l = blocks.tolist()
         writes_l = batch.is_write.tolist()

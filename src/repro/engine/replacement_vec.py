@@ -43,6 +43,28 @@ from ..cache.replacement import (
 )
 
 
+def splitmix64_array(seed: int, start: int, count: int) -> np.ndarray:
+    """Vectorized :func:`~repro.cache.replacement.splitmix64` draw sequence.
+
+    Returns ``splitmix64(seed + n)`` for ``n`` in ``[start, start + count)``
+    as a ``uint64`` array — the exact values the scalar policy's counter
+    would produce one at a time.  Because the random policy's draws are a
+    pure function of the eviction ordinal, a whole batch's worth of victim
+    picks can be precomputed up front and consumed by index; this is what
+    lets the set-decomposed random kernel stay bit-exact with the scalar
+    victim sequence without calling into Python per eviction.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    with np.errstate(over="ignore"):
+        x = (np.uint64(seed & ((1 << 64) - 1))
+             + np.arange(start, start + count, dtype=np.uint64))
+        x = x + np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
 def min_stamp_way(stamp: List[List[int]], candidate_sets: Sequence[int]) -> int:
     """The way with the smallest timestamp, ties broken by way order.
 
@@ -60,6 +82,7 @@ def min_stamp_way(stamp: List[List[int]], candidate_sets: Sequence[int]) -> int:
     return best_way
 
 __all__ = [
+    "splitmix64_array",
     "min_stamp_way",
     "VecReplacementState",
     "VecLRU",
@@ -145,6 +168,19 @@ class _VecTimestamp(VecReplacementState):
             self._ways, self._num_sets)
         self._stamp_l = []
         self._in_kernel = False
+
+    @property
+    def stamp_lists(self) -> List[List[int]]:
+        """Checked-out per-way timestamp rows (valid inside a kernel).
+
+        The set-decomposed kernels in :mod:`repro.engine.set_decompose`
+        mutate these rows directly instead of going through the per-access
+        hooks; :meth:`kernel_end` persists whatever they left behind.
+        """
+        if not self._in_kernel:
+            raise RuntimeError("stamp_lists is only valid between "
+                               "kernel_begin() and kernel_end()")
+        return self._stamp_l
 
     def victim(self, candidate_sets):
         return min_stamp_way(self._stamp_l, candidate_sets)
@@ -234,6 +270,22 @@ class VecTreePLRU(VecReplacementState):
         self._bits_l = []
         self._stamp_l = []
         self._in_kernel = False
+
+    @property
+    def bit_lists(self) -> List[List[bool]]:
+        """Checked-out per-set direction-bit rows (valid inside a kernel)."""
+        if not self._in_kernel:
+            raise RuntimeError("bit_lists is only valid between "
+                               "kernel_begin() and kernel_end()")
+        return self._bits_l
+
+    @property
+    def stamp_lists(self) -> List[List[int]]:
+        """Checked-out per-way timestamp rows (valid inside a kernel)."""
+        if not self._in_kernel:
+            raise RuntimeError("stamp_lists is only valid between "
+                               "kernel_begin() and kernel_end()")
+        return self._stamp_l
 
     def _touch(self, way: int, set_index: int, now: int) -> None:
         self._stamp_l[way][set_index] = now

@@ -11,6 +11,13 @@ Workers receive one task object each and must be module-level callables when
 ``mode="serial"`` runs in-line, which is also the automatic fallback whenever
 a single worker is requested or the pool cannot be spawned (restricted
 sandboxes).  Task order is always preserved in the result list.
+
+Each worker process holds its own process-global trace cache
+(:mod:`repro.trace.batching`) and derived-array memo
+(:mod:`repro.engine.memo`) — thread-mode workers share their process's
+caches, which are lock-guarded for exactly that reason — so chunked
+dispatch compounds: the more related tasks a worker receives per sweep,
+the more materialisation work it reuses.
 """
 
 from __future__ import annotations
@@ -70,11 +77,15 @@ def run_sweep(worker: Callable[[TaskT], ResultT],
         help when the worker releases the GIL (NumPy-heavy batches); process
         pools parallelise pure-Python simulation too.
     chunksize:
-        Number of tasks handed to a process-pool worker per dispatch
-        (pass-through to ``Executor.map``).  ``None`` keeps the default
-        heuristic of about four chunks per worker.  For coarser batching —
-        e.g. one work item per group of related tasks — pre-group the tasks
-        with :func:`chunk_tasks` and give ``worker`` a chunk-level callable.
+        Number of tasks handed to a pool worker per dispatch.  For process
+        pools this is a pass-through to ``Executor.map``; for thread pools
+        (whose ``map`` silently ignores ``chunksize``) the tasks are
+        pre-grouped with :func:`chunk_tasks` and dispatched as chunk-level
+        work items, so the parameter is honoured in every mode.  ``None``
+        keeps the default heuristic of about four chunks per worker.  For
+        coarser batching — e.g. one work item per group of related tasks —
+        pre-group the tasks with :func:`chunk_tasks` and give ``worker`` a
+        chunk-level callable.
     """
     if mode not in _MODES:
         raise ValueError(f"unknown sweep mode {mode!r}; expected one of {_MODES}")
@@ -105,4 +116,10 @@ def run_sweep(worker: Callable[[TaskT], ResultT],
     with pool:
         if mode == "process":
             return list(pool.map(worker, tasks, chunksize=chunksize))
-        return list(pool.map(worker, tasks))
+        # ThreadPoolExecutor.map accepts but ignores chunksize; dispatch
+        # explicit chunks so the batching the caller asked for is real.
+        def _run_chunk(chunk: List[TaskT]) -> List[ResultT]:
+            return [worker(task) for task in chunk]
+
+        chunked = pool.map(_run_chunk, chunk_tasks(tasks, chunksize))
+        return [result for chunk in chunked for result in chunk]

@@ -54,6 +54,17 @@ class TabulatedIPolyIndexing(IPolyIndexing):
             tables[self.polynomial_for_way(way)] for way in range(way_count)
         ]
 
+    @property
+    def cache_key(self):
+        if type(self) is not TabulatedIPolyIndexing:
+            return None
+        # Deliberately the parent's key: this class is a bit-exact drop-in
+        # (same constructor parameters, identical mapping, asserted by the
+        # Hypothesis suite), so sharing memoised set-index arrays with plain
+        # IPolyIndexing instances is sound and saves the sweep a recompute.
+        return ("ipoly", self.num_sets, self.is_skewed,
+                self.address_bits_used, tuple(self.polynomials))
+
     def index(self, block_number: int, way: int = 0) -> int:
         _check_block_and_way(block_number, way)
         if self.is_skewed:

@@ -41,7 +41,7 @@ from ..engine import (
     chunk_tasks,
     run_sweep,
 )
-from ..trace.batching import strided_vector_arrays
+from ..trace.batching import cached_strided_arrays
 from ..trace.generators import strided_vector
 from .config import INDEX_SCHEMES, PAPER_L1_8KB, CacheGeometry, build_cache
 
@@ -93,7 +93,9 @@ def stride_miss_ratio(scheme: str, stride: int,
         raise ValueError("stride must be at least 1")
     engine = check_engine(engine)
     if engine == ENGINE_VECTORIZED:
-        addresses, writes = strided_vector_arrays(
+        # Cached per (stride, shape): each sweep worker materialises a given
+        # stride's trace once even though every scheme revisits it.
+        addresses, writes = cached_strided_arrays(
             stride, elements=elements, element_size=element_size, sweeps=sweeps)
         batch = AddressBatch.from_arrays(addresses, writes)
         index_fn = make_index_function(scheme, num_sets=geometry.num_sets,

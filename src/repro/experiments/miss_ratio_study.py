@@ -45,8 +45,8 @@ from ..engine import (
     BatchSetAssociativeCache,
     BatchVictimCache,
     check_engine,
-    materialise_batch,
 )
+from ..trace.batching import cached_workload_arrays
 from ..trace.workloads import build_trace, workload_names
 from .config import PAPER_HASH_BITS, PAPER_L1_8KB, CacheGeometry, build_cache
 
@@ -232,7 +232,12 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
     for name in program_list:
         per_org: Dict[str, float] = {}
         if engine == ENGINE_VECTORIZED:
-            batch = materialise_batch(build_trace(name, length=accesses, seed=seed))
+            # Sweep-wide memoisation: the materialised arrays come from the
+            # process-global trace cache with stable identity, so the batch
+            # engine also shares the derived block-number / set-index arrays
+            # across the organisations below (and across study runs).
+            batch = AddressBatch.from_arrays(
+                *cached_workload_arrays(name, length=accesses, seed=seed))
             for label, factory in organisation_map.items():
                 cache = factory()
                 _replay_batch(cache, batch)

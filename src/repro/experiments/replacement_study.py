@@ -35,7 +35,8 @@ from typing import Dict, List, Optional, Sequence
 from ..analysis.metrics import arithmetic_mean
 from ..analysis.reporting import TableBuilder
 from ..cache.replacement import REPLACEMENT_POLICIES
-from ..engine import ENGINE_REFERENCE, ENGINE_VECTORIZED, check_engine, materialise_batch
+from ..engine import ENGINE_REFERENCE, ENGINE_VECTORIZED, AddressBatch, check_engine
+from ..trace.batching import cached_workload_arrays
 from ..trace.workloads import build_trace, workload_names
 from .config import PAPER_L1_8KB, CacheGeometry
 from .miss_ratio_study import _batch_factory, _replay_batch, _scalar_factory
@@ -142,8 +143,11 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
     }
     for name in program_list:
         if engine == ENGINE_VECTORIZED:
-            batch = materialise_batch(build_trace(name, length=accesses,
-                                                  seed=seed))
+            # One materialisation per (program, length, seed) per process —
+            # every (organisation, policy) pair below reuses the cached
+            # arrays, and with them the memoised per-scheme index arrays.
+            batch = AddressBatch.from_arrays(
+                *cached_workload_arrays(name, length=accesses, seed=seed))
             for label, kind, params in _STUDY_ORGANISATIONS:
                 for policy in policy_list:
                     cache = factory(kind, params, geometry, policy)()

@@ -237,6 +237,175 @@ def test_victim_cache_with_skewed_main_and_stores(policy):
     assert scalar.victim_hits == batch.victim_hits
 
 
+# --------------------------------------------------------------------- #
+# set-decomposed kernels vs the retained generic kernel
+# --------------------------------------------------------------------- #
+
+#: The non-LRU policies served by the set-decomposed kernel layer.
+DECOMPOSED_POLICIES = ("fifo", "random", "plru")
+
+#: Non-skewed schemes (the decomposition precondition).
+NON_SKEWED_SCHEMES = ("a2", "a2-Hp")
+
+
+def run_via_generic_kernel(batch_cache, trace):
+    """Replay a trace through the retained generic policy kernel directly,
+    bypassing the set-decomposed dispatch — the differential reference."""
+    batch = batch_of(trace)
+    blocks = batch.block_numbers(batch_cache.block_size)
+    return batch_cache._run_policy_kernel(blocks, batch.is_write)
+
+
+def assert_policy_state_equal(left, right):
+    """The NumPy policy state tables of two caches are byte-identical."""
+    lp, rp = left._vec_policy, right._vec_policy
+    assert type(lp) is type(rp)
+    if hasattr(lp, "stamps"):
+        np.testing.assert_array_equal(lp.stamps, rp.stamps)
+    if hasattr(lp, "bits"):
+        np.testing.assert_array_equal(lp.bits, rp.bits)
+    if hasattr(lp, "counter"):
+        assert lp.counter == rp.counter
+
+
+@pytest.mark.parametrize("trace_name", POLICY_TRACES)
+@pytest.mark.parametrize("scheme", NON_SKEWED_SCHEMES)
+@pytest.mark.parametrize("policy", DECOMPOSED_POLICIES)
+class TestSetDecomposedVsGenericKernel:
+    """The set-decomposed kernels and the generic kernel are interchangeable:
+    same hits, same stats, same resident blocks — and the same policy state
+    tables afterwards, so either kernel can continue the other's cache."""
+
+    def test_write_through(self, policy, scheme, trace_name):
+        trace = list(TRACES[trace_name]())
+        _, decomposed = build_pair(scheme, replacement=policy)
+        _, generic = build_pair(scheme, replacement=policy)
+        dec_hits = decomposed.run(batch_of(trace))
+        gen_hits = run_via_generic_kernel(generic, trace)
+        np.testing.assert_array_equal(dec_hits, gen_hits)
+        assert stats_snapshot(decomposed.stats) == stats_snapshot(generic.stats)
+        assert sorted(decomposed.resident_blocks()) == sorted(
+            generic.resident_blocks())
+        assert_policy_state_equal(decomposed, generic)
+
+    def test_write_back(self, policy, scheme, trace_name):
+        trace = list(TRACES[trace_name]())
+        _, decomposed = build_pair(
+            scheme, replacement=policy,
+            write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        _, generic = build_pair(
+            scheme, replacement=policy,
+            write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        dec_hits = decomposed.run(batch_of(trace))
+        gen_hits = run_via_generic_kernel(generic, trace)
+        np.testing.assert_array_equal(dec_hits, gen_hits)
+        assert stats_snapshot(decomposed.stats) == stats_snapshot(generic.stats)
+        assert decomposed.stats.writebacks == generic.stats.writebacks
+        assert sorted(decomposed.resident_blocks()) == sorted(
+            generic.resident_blocks())
+        assert_policy_state_equal(decomposed, generic)
+
+    def test_kernel_handoff_mid_stream(self, policy, scheme, trace_name):
+        """A batch run by the generic kernel, then one by the decomposed
+        kernel, continues bit-exactly from the shared state tables."""
+        scalar, batch = build_pair(
+            scheme, replacement=policy,
+            write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        trace = list(TRACES[trace_name]())
+        cut = len(trace) // 2
+        first, second = trace[:cut], trace[cut:]
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        vec_hits = np.concatenate([
+            run_via_generic_kernel(batch, first),
+            batch.run(batch_of(second)),      # decomposed continues
+        ])
+        np.testing.assert_array_equal(ref_hits, vec_hits)
+        assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+        assert sorted(scalar.resident_blocks()) == sorted(
+            batch.resident_blocks())
+
+
+@pytest.mark.parametrize("policy", DECOMPOSED_POLICIES)
+def test_decomposed_dispatch_conditions(policy, monkeypatch):
+    """Non-skewed, classifier-free, non-LRU caches route through the
+    set-decomposed layer; skewed and classifying caches keep the generic
+    kernel."""
+    from repro.engine import batch_cache as batch_cache_module
+
+    calls = []
+    real = batch_cache_module.run_decomposed_policy
+
+    def counting(cache, blocks, sets, is_write):
+        calls.append(cache.index_function.name)
+        return real(cache, blocks, sets, is_write)
+
+    monkeypatch.setattr(batch_cache_module, "run_decomposed_policy", counting)
+    trace = list(TRACES["random"]())
+
+    _, plain = build_pair("a2", replacement=policy)
+    plain.run(batch_of(trace))
+    assert calls == ["a2"]
+
+    _, skewed = build_pair("a2-Hp-Sk", replacement=policy)
+    skewed.run(batch_of(trace))
+    assert calls == ["a2"]  # skewed stayed on the generic kernel
+
+    _, classifying = build_pair("a2", replacement=policy, classify=True)
+    classifying.run(batch_of(trace))
+    assert calls == ["a2"]  # classifier forces global-order generic kernel
+
+
+@pytest.mark.parametrize("trace_name", POLICY_TRACES)
+@pytest.mark.parametrize("policy", DECOMPOSED_POLICIES)
+def test_classifying_policy_cache_matches_scalar(policy, trace_name):
+    """3C classification + non-LRU policy (the generic-kernel fallback path)
+    stays bit-exact with the scalar model, miss kinds included."""
+    scalar, batch = build_pair("a2", replacement=policy, classify=True,
+                               write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    assert_equivalent(scalar, batch, TRACES[trace_name]())
+
+
+@pytest.mark.parametrize("policy", DECOMPOSED_POLICIES)
+def test_fully_associative_policy_equivalence(policy):
+    """Single-set decomposition at high associativity (64 ways): the dense
+    generic-ways kernels against the scalar fully-associative model."""
+    trace = list(random_accesses(4000, 16 * 1024, write_fraction=0.3,
+                                 seed=23))
+    scalar = FullyAssociativeCache(2048, 32, replacement=policy)
+    batch = BatchSetAssociativeCache(2048, 32, ways=2048 // 32,
+                                     index_function=SingleSetIndexing(),
+                                     replacement=policy)
+    assert_equivalent(scalar, batch, trace)
+
+
+@pytest.mark.parametrize("scheme", NON_SKEWED_SCHEMES)
+@pytest.mark.parametrize("policy", DECOMPOSED_POLICIES)
+def test_decomposed_four_way_equivalence(policy, scheme):
+    """The generic-ways decomposed kernels (dict residents, FIFO heap,
+    PLRU tree walk) against the scalar model at 4 ways, store-heavy."""
+    trace = list(random_accesses(5000, 64 * 1024, write_fraction=0.3,
+                                 seed=31))
+    scalar, batch = build_pair(scheme, ways=4, replacement=policy,
+                               write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    assert_equivalent(scalar, batch, trace)
+
+
+@pytest.mark.parametrize("policy", DECOMPOSED_POLICIES)
+def test_decomposed_warm_continuity_non_skewed(policy):
+    """Split-batch decomposed runs on a conventional cache stay bit-exact
+    with one scalar pass (state round-trips through the NumPy tables)."""
+    scalar, batch = build_pair("a2", replacement=policy,
+                               write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    first = list(random_accesses(1500, 32 * 1024, write_fraction=0.3, seed=7))
+    second = list(random_accesses(1500, 32 * 1024, write_fraction=0.3, seed=8))
+    ref_hits = scalar_hit_sequence(scalar, first + second)
+    vec_hits = np.concatenate([batch.run(batch_of(first)),
+                               batch.run(batch_of(second))])
+    np.testing.assert_array_equal(ref_hits, vec_hits)
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats)
+    assert sorted(scalar.resident_blocks()) == sorted(batch.resident_blocks())
+
+
 @pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
 def test_warm_continuity_with_policies(policy):
     """Split-batch runs of the policy kernel stay bit-exact with one scalar

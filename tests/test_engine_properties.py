@@ -157,6 +157,60 @@ def test_batch_cache_matches_scalar_on_random_traces(
     assert sorted(scalar.resident_blocks()) == sorted(batch.resident_blocks())
 
 
+@settings(max_examples=40, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, (1 << 20) - 1), min_size=1, max_size=300),
+    writes=st.data(),
+    m=st.integers(2, 6),
+    ways=st.integers(1, 4),
+    scheme=st.sampled_from(["a2", "a2-Hx", "a2-Hp"]),
+    write_back=st.booleans(),
+    replacement=st.sampled_from(["fifo", "random", "plru"]),
+)
+def test_set_decomposed_matches_generic_kernel_on_random_traces(
+        addresses, writes, m, ways, scheme, write_back, replacement):
+    """The set-decomposed kernels and the retained generic kernel agree on
+    arbitrary random traces — hits, stats, residency AND the policy state
+    tables they leave behind."""
+    num_sets = 1 << m
+    block = 16
+    size = num_sets * block * ways
+    is_write = writes.draw(st.lists(st.booleans(),
+                                    min_size=len(addresses),
+                                    max_size=len(addresses)))
+    policy = (WritePolicy.WRITE_BACK_ALLOCATE if write_back
+              else WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+
+    def build():
+        return BatchSetAssociativeCache(
+            size, block, ways,
+            index_function=make_index_function(scheme, num_sets, ways=ways,
+                                               address_bits=19),
+            replacement=replacement,
+            write_policy=policy)
+
+    batch = AddressBatch.from_arrays(
+        np.array(addresses, dtype=np.uint64), np.array(is_write, dtype=bool))
+    decomposed = build()
+    generic = build()
+    dec_hits = decomposed.run(batch)
+    gen_hits = generic._run_policy_kernel(
+        batch.block_numbers(block), batch.is_write)
+    assert dec_hits.tolist() == gen_hits.tolist()
+    for field in ("loads", "stores", "load_misses", "store_misses",
+                  "evictions", "writebacks"):
+        assert getattr(decomposed.stats, field) == getattr(generic.stats, field)
+    assert sorted(decomposed.resident_blocks()) == sorted(
+        generic.resident_blocks())
+    dp, gp = decomposed._vec_policy, generic._vec_policy
+    if hasattr(dp, "stamps"):
+        assert dp.stamps.tolist() == gp.stamps.tolist()
+    if hasattr(dp, "bits"):
+        assert dp.bits.tolist() == gp.bits.tolist()
+    if hasattr(dp, "counter"):
+        assert dp.counter == gp.counter
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     addresses=st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=250),

@@ -91,6 +91,27 @@ class TestSweepChunking:
         with pytest.raises(ValueError):
             run_sweep(lambda x: x, [1], workers=2, chunksize=0)
 
+    @pytest.mark.parametrize("chunksize", [1, 3, 100, None])
+    def test_run_sweep_thread_mode_honours_chunksize(self, chunksize):
+        """Regression: thread mode used to silently drop ``chunksize``
+        (``ThreadPoolExecutor.map`` ignores it); tasks are now dispatched as
+        explicit chunks — every task runs exactly once, order preserved."""
+        import threading
+
+        seen = []
+        lock = threading.Lock()
+
+        def worker(task):
+            with lock:
+                seen.append(task)
+            return task * 10
+
+        tasks = list(range(11))
+        results = run_sweep(worker, tasks, workers=2, mode="thread",
+                            chunksize=chunksize)
+        assert results == [task * 10 for task in tasks]
+        assert sorted(seen) == tasks
+
     def test_figure1_chunked_dispatch_matches_serial(self):
         """Per-scheme chunked task batching must not change any ratio."""
         serial = run_figure1(max_stride=41, stride_step=4, sweeps=4)

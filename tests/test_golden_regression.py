@@ -50,9 +50,44 @@ def test_miss_ratio_study_matches_golden(engine):
     assert result.miss_ratios == golden["miss_ratios"]
 
 
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_fifo_figure1_matches_golden(engine):
+    """FIFO stride sweep: pins the set-decomposed FIFO kernel (vectorized)
+    and the scalar FIFO policy (reference) to one committed snapshot."""
+    golden = load_golden("figure1_fifo.json")
+    params = golden["params"]
+    result = run_figure1(max_stride=params["max_stride"],
+                         stride_step=params["stride_step"],
+                         sweeps=params["sweeps"],
+                         elements=params["elements"],
+                         replacement=params["replacement"],
+                         engine=engine)
+    assert result.miss_ratios == golden["miss_ratios"]
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_plru_miss_ratio_study_matches_golden(engine):
+    """PLRU miss-ratio study: pins the set-decomposed PLRU kernel across
+    every study organisation (fully-associative included)."""
+    golden = load_golden("miss_ratio_study_plru.json")
+    params = golden["params"]
+    result = run_miss_ratio_study(programs=params["programs"],
+                                  accesses=params["accesses"],
+                                  seed=params["seed"],
+                                  replacement=params["replacement"],
+                                  engine=engine)
+    assert result.miss_ratios == golden["miss_ratios"]
+
+
 def test_goldens_are_committed():
     """The fixtures exist and cover the four Figure 1 schemes."""
     fig = load_golden("figure1_miss_ratios.json")
     assert sorted(fig["miss_ratios"]) == ["a2", "a2-Hp", "a2-Hp-Sk", "a2-Hx-Sk"]
     study = load_golden("miss_ratio_study.json")
     assert set(study["miss_ratios"]) == set(study["params"]["programs"])
+    fifo = load_golden("figure1_fifo.json")
+    assert fifo["params"]["replacement"] == "fifo"
+    assert sorted(fifo["miss_ratios"]) == ["a2", "a2-Hp", "a2-Hp-Sk", "a2-Hx-Sk"]
+    plru = load_golden("miss_ratio_study_plru.json")
+    assert plru["params"]["replacement"] == "plru"
+    assert set(plru["miss_ratios"]) == set(plru["params"]["programs"])
