@@ -7,14 +7,16 @@ accesses/second for both paths.  Besides tracking the speedup, each
 benchmark asserts *bit-exact* :class:`~repro.cache.stats.CacheStats`
 agreement, so the performance claim can never drift away from correctness.
 
-Two asserted speedup bounds:
+Every row is bounded — no organisation is merely "tracked" any more:
 
 * the LRU batch paths must stay >= 10x over scalar on every index family;
 * the set-decomposed replacement kernels (FIFO, random, PLRU) must stay
-  >= 10x over scalar on the conventional organisation.
+  >= 10x over scalar on the conventional organisation;
+* the skew-decomposed kernels (FIFO, random, PLRU on skewed I-Poly
+  placement) and the decomposed victim kernels (all four policies) must
+  also stay >= 10x over scalar.
 
-The skewed non-LRU rows (generic replacement kernel) and the victim-cache
-kernel are tracked in the artifact but carry no bound.  The trace is built
+The trace is built
 through the process-global trace cache, so the vectorized timings include
 the sweep-wide reuse of materialised addresses and per-scheme index arrays
 that a real sweep worker enjoys (the scalar path replays per access and
@@ -68,7 +70,9 @@ STRIDE = 67
 REQUIRED_SPEEDUP = 10.0
 
 #: Minimum ratio for the set-decomposed replacement kernels on the
-#: conventional organisation (same bar as LRU — the point of this layer).
+#: conventional organisation, the skew-decomposed kernels on skewed
+#: placement, and the decomposed victim kernels (same bar as LRU — the
+#: point of these layers).
 REQUIRED_SPEEDUP_POLICY = 10.0
 
 #: Below this trace length the constant batch-setup overhead dominates and
@@ -163,14 +167,15 @@ def compare_engines(scheme, accesses=BENCH_ENGINE_ACCESSES, replacement=None):
     }
 
 
-def compare_victim_kernel(accesses=BENCH_ENGINE_ACCESSES):
+def compare_victim_kernel(accesses=BENCH_ENGINE_ACCESSES, replacement=None):
     """Time the scalar victim cache against the BatchVictimCache kernel."""
     trace = _build_trace(accesses)
     geometry = PAPER_L1_8KB
     scalar = VictimCache(geometry.size_bytes, geometry.block_size,
-                         ways=1, victim_entries=8)
+                         ways=1, victim_entries=8, replacement=replacement)
     batch = BatchVictimCache(geometry.size_bytes, geometry.block_size,
-                             ways=1, victim_entries=8)
+                             ways=1, victim_entries=8,
+                             replacement=replacement)
 
     start = time.perf_counter()
     access = scalar.access
@@ -185,10 +190,11 @@ def compare_victim_kernel(accesses=BENCH_ENGINE_ACCESSES):
     assert scalar.stats.load_misses == batch.stats.load_misses, (
         "victim-cache kernels diverged")
     assert scalar.victim_hits == batch.victim_hits
+    assert scalar.main_hits == batch.main_hits
     n = len(trace)
     return {
         "scheme": "victim-direct+8",
-        "replacement": "lru",
+        "replacement": replacement or "lru",
         "accesses": n,
         "scalar_aps": n / scalar_seconds,
         "vector_aps": n / vector_seconds,
@@ -304,6 +310,77 @@ def test_policy_kernel_throughput(benchmark, policy):
             f"scalar (required {REQUIRED_SPEEDUP_POLICY}x)")
 
 
+@pytest.mark.benchmark(group="engine-skew-policy")
+@pytest.mark.parametrize("policy", POLICY_ROWS)
+def test_skew_policy_kernel_throughput(benchmark, policy):
+    """Skew-decomposed kernels hold the same bar on skewed placement."""
+    trace = _build_trace(BENCH_ENGINE_ACCESSES)
+    scalar, batch = _make_caches("a2-Hp-Sk", replacement=policy)
+
+    start = time.perf_counter()
+    _run_scalar(scalar, trace)
+    scalar_seconds = time.perf_counter() - start
+
+    def _vector_run():
+        _, fresh = _make_caches("a2-Hp-Sk", replacement=policy)
+        fresh.run(trace)
+        return fresh
+
+    fresh = benchmark.pedantic(_vector_run, rounds=3, iterations=1)
+    vector_seconds = benchmark.stats.stats.min
+
+    assert _stats_tuple(scalar.stats) == _stats_tuple(fresh.stats), (
+        f"CacheStats diverged between engines for a2-Hp-Sk/{policy}")
+    speedup = scalar_seconds / vector_seconds
+    print(f"\na2-Hp-Sk/{policy}: scalar {len(trace) / scalar_seconds:,.0f} "
+          f"acc/s, vectorized {len(trace) / vector_seconds:,.0f} acc/s "
+          f"({speedup:.1f}x)")
+    if len(trace) >= MIN_ACCESSES_FOR_SPEEDUP_CHECK:
+        assert speedup >= REQUIRED_SPEEDUP_POLICY, (
+            f"a2-Hp-Sk/{policy}: skew-decomposed kernel only {speedup:.1f}x "
+            f"over scalar (required {REQUIRED_SPEEDUP_POLICY}x)")
+
+
+@pytest.mark.benchmark(group="engine-victim")
+@pytest.mark.parametrize("policy", [None] + POLICY_ROWS,
+                         ids=["lru"] + POLICY_ROWS)
+def test_victim_kernel_throughput(benchmark, policy):
+    """Decomposed victim kernels hold the same bar for every policy."""
+    trace = _build_trace(BENCH_ENGINE_ACCESSES)
+    geometry = PAPER_L1_8KB
+    scalar = VictimCache(geometry.size_bytes, geometry.block_size,
+                         ways=1, victim_entries=8, replacement=policy)
+
+    start = time.perf_counter()
+    access = scalar.access
+    for address in trace.addresses.tolist():
+        access(address, False)
+    scalar_seconds = time.perf_counter() - start
+
+    def _vector_run():
+        fresh = BatchVictimCache(geometry.size_bytes, geometry.block_size,
+                                 ways=1, victim_entries=8,
+                                 replacement=policy)
+        fresh.run(trace)
+        return fresh
+
+    fresh = benchmark.pedantic(_vector_run, rounds=3, iterations=1)
+    vector_seconds = benchmark.stats.stats.min
+
+    assert scalar.stats.load_misses == fresh.stats.load_misses
+    assert scalar.victim_hits == fresh.victim_hits
+    assert scalar.main_hits == fresh.main_hits
+    speedup = scalar_seconds / vector_seconds
+    label = policy or "lru"
+    print(f"\nvictim/{label}: scalar {len(trace) / scalar_seconds:,.0f} "
+          f"acc/s, vectorized {len(trace) / vector_seconds:,.0f} acc/s "
+          f"({speedup:.1f}x)")
+    if len(trace) >= MIN_ACCESSES_FOR_SPEEDUP_CHECK:
+        assert speedup >= REQUIRED_SPEEDUP_POLICY, (
+            f"victim/{label}: decomposed victim kernel only {speedup:.1f}x "
+            f"over scalar (required {REQUIRED_SPEEDUP_POLICY}x)")
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -344,19 +421,27 @@ def main(argv=None):
         if check_bounds:
             assert row["speedup"] >= REQUIRED_SPEEDUP_POLICY, (
                 f"a2/{policy}: only {row['speedup']:.1f}x")
-    # Generic replacement kernel on the skewed organisation and the victim
-    # kernel: tracked in the artifact, no bound.
+    # Skew-decomposed kernels on the skewed organisation: bounded.
     for policy in POLICY_ROWS:
         row = compare_engines("a2-Hp-Sk", accesses=accesses,
                               replacement=policy)
         rows.append(row)
         show(row)
-    row = compare_victim_kernel(accesses=accesses)
-    rows.append(row)
-    show(row)
+        if check_bounds:
+            assert row["speedup"] >= REQUIRED_SPEEDUP_POLICY, (
+                f"a2-Hp-Sk/{policy}: only {row['speedup']:.1f}x")
+    # Decomposed victim kernels, every policy: bounded.
+    for policy in [None] + POLICY_ROWS:
+        row = compare_victim_kernel(accesses=accesses, replacement=policy)
+        rows.append(row)
+        show(row)
+        if check_bounds:
+            assert row["speedup"] >= REQUIRED_SPEEDUP_POLICY, (
+                f"victim/{row['replacement']}: only {row['speedup']:.1f}x")
     if check_bounds:
-        print(f"\nall LRU schemes and conventional policy kernels >= "
-              f"{REQUIRED_SPEEDUP:.0f}x with bit-exact CacheStats")
+        print(f"\nevery row (LRU fast paths, set-decomposed, skew-decomposed "
+              f"and victim kernels) >= {REQUIRED_SPEEDUP:.0f}x with "
+              f"bit-exact CacheStats")
     else:
         print("\nbit-exact CacheStats on every kernel path "
               "(speedup bounds skipped below "

@@ -28,6 +28,7 @@ from .batch_cache import (
 from .index_vec import GF2RemainderTable, VectorizedIndex, vectorize_index
 from .memo import (
     cached_block_numbers,
+    cached_set_index_lists,
     cached_set_indices,
     memo_clear,
     memo_info,
@@ -38,6 +39,7 @@ from .replacement_vec import (
     splitmix64_array,
 )
 from .set_decompose import group_by_set, run_decomposed_policy
+from .skew_decompose import run_skew_decomposed_policy, run_victim_decomposed
 from .sweep import chunk_tasks, run_sweep
 from .tabulated import TabulatedIPolyIndexing, tabulate_index_function
 
@@ -56,8 +58,11 @@ __all__ = [
     "splitmix64_array",
     "group_by_set",
     "run_decomposed_policy",
+    "run_skew_decomposed_policy",
+    "run_victim_decomposed",
     "cached_block_numbers",
     "cached_set_indices",
+    "cached_set_index_lists",
     "memo_info",
     "memo_clear",
     "GF2RemainderTable",

@@ -41,25 +41,39 @@ and batch:
    scalar policies (including identical deterministic random-victim
    sequences).  LRU keeps the specialised fast paths above.
 
-5. **Generic replacement kernel** (skewed non-LRU, or any non-LRU cache
-   with the 3C classifier enabled, whose capacity/conflict split needs
-   global trace order): a per-way flat-list kernel whose decisions come
-   from the NumPy-backed state tables in
+5. **Skew-decomposed replacement kernels** (skewed non-LRU, no 3C
+   classifier): the policy-specialised trace-order kernels of
+   :mod:`repro.engine.skew_decompose` — per-way index streams memoised as
+   lists, inline stamp/bit-tree decisions, precomputed ``splitmix64`` draw
+   tables — sharing state tables with the generic kernel below.
+
+6. **Generic replacement kernel** (any non-LRU cache with the 3C
+   classifier enabled, whose capacity/conflict split needs the classifier
+   called in global trace order with per-access hit context; also any
+   future policy the specialised kernels do not know): a per-way flat-list
+   kernel whose decisions come from the NumPy-backed state tables in
    :mod:`repro.engine.replacement_vec`.  It shares those state tables with
-   the set-decomposed kernels, so the two can serve the same cache
+   the decomposed kernels, so any of them can serve the same cache
    interchangeably — and the differential suite pits them against each
    other as well as against the scalar models.
 
-6. **Victim-cache kernel** (:class:`BatchVictimCache`): the main cache and
+7. **Victim-cache kernels** (:class:`BatchVictimCache`): the main cache and
    its fully-associative victim buffer in one tight loop over
    pre-vectorized indices, replicating
    :class:`~repro.cache.victim.VictimCache` — swap-on-victim-hit, displaced
    lines stashed in the buffer, dirty lines falling out of the buffer
-   counted as writebacks — exactly.
+   counted as writebacks — exactly.  Main caches of one or two ways run
+   the decomposed victim kernels of :mod:`repro.engine.skew_decompose`;
+   wider main caches keep the generic loop.
+
+Every cache exposes ``dispatch_strategy(batch)`` — the name of the kernel
+``run`` will execute — as the dispatcher's single source of truth, which
+the differential suite introspects to prove each path is covered.
 
 Block-number and set-index arrays are obtained through the sweep-wide memo
-tables of :mod:`repro.engine.memo`, so tasks that share one materialised
-trace (see :mod:`repro.trace.batching`) also share the derived arrays.
+tables of :mod:`repro.engine.memo` (including the plain-list views the
+tight kernels iterate), so tasks that share one materialised trace (see
+:mod:`repro.trace.batching`) also share the derived arrays.
 """
 
 from __future__ import annotations
@@ -78,9 +92,14 @@ from ..cache.stats import CacheStats, MissClassifier, MissKind
 from ..core.index import BitSelectIndexing, IndexFunction, IPolyIndexing
 from .batch import AddressBatch
 from .index_vec import VectorizedIndex, _VecIPoly, vectorize_index
-from .memo import cached_block_numbers, cached_set_indices
+from .memo import (
+    cached_block_numbers,
+    cached_set_index_lists,
+    cached_set_indices,
+)
 from .replacement_vec import VecReplacementState, make_vec_replacement
 from .set_decompose import run_decomposed_policy
+from .skew_decompose import run_skew_decomposed_policy, run_victim_decomposed
 
 __all__ = [
     "BatchSetAssociativeCache",
@@ -250,28 +269,67 @@ class BatchSetAssociativeCache:
     # simulation
     # ------------------------------------------------------------------ #
 
+    def dispatch_strategy(self, batch: AddressBatch) -> str:
+        """Name of the kernel :meth:`run` would execute for ``batch``.
+
+        The dispatcher's single source of truth — :meth:`run` switches on
+        exactly this value, so tests can introspect which kernel serves a
+        given (organisation, policy, batch) combination.  Possible values:
+
+        * ``"set-decomposed-{fifo,random,plru}"`` — non-skewed non-LRU,
+          no classifier (:mod:`repro.engine.set_decompose`);
+        * ``"skew-decomposed-{fifo,random,plru}"`` — skewed non-LRU, no
+          classifier (:mod:`repro.engine.skew_decompose`);
+        * ``"generic-policy-kernel"`` — any other non-LRU configuration
+          (3C classifier, unknown future policy);
+        * ``"lru-run-collapse"`` — the fully vectorized LRU fast path
+          (non-skewed, <= 2 ways, cold cache, load-only batch);
+        * ``"lru-skewed-2way"`` / ``"lru-skewed-generic"`` — the skewed
+          LRU kernels;
+        * ``"lru-dict"`` — the insertion-ordered dict kernel (everything
+          else).
+        """
+        if self._vec_policy is not None:
+            if self._classifier is not None:
+                return "generic-policy-kernel"
+            name = self._vec_policy.name
+            if name not in ("fifo", "random", "plru"):
+                return "generic-policy-kernel"
+            if self._skewed:
+                return f"skew-decomposed-{name}"
+            return f"set-decomposed-{name}"
+        if (not self._skewed and self._ways <= 2 and self._classifier is None
+                and self._clock == 0 and not batch.has_stores):
+            return "lru-run-collapse"
+        if self._skewed:
+            return "lru-skewed-2way" if self._ways == 2 else "lru-skewed-generic"
+        return "lru-dict"
+
     def run(self, batch: AddressBatch) -> np.ndarray:
         """Simulate a whole batch; returns the per-access hit mask (bool).
 
         Statistics accumulate into :attr:`stats` and cache state carries over
         to the next call, exactly like feeding the scalar model one access at
-        a time.
+        a time.  The kernel is picked by :meth:`dispatch_strategy`.
         """
         n = len(batch)
         if n == 0:
             return np.zeros(0, dtype=bool)
+        strategy = self.dispatch_strategy(batch)
         blocks = cached_block_numbers(batch, self._block_size)
-        if self._vec_policy is not None:
-            if not self._skewed and self._classifier is None:
-                sets = cached_set_indices(self._vec_index, blocks, 0)
-                return run_decomposed_policy(self, blocks, sets,
-                                             batch.is_write)
+        if strategy.startswith("set-decomposed-"):
+            sets = cached_set_indices(self._vec_index, blocks, 0)
+            return run_decomposed_policy(self, blocks, sets, batch.is_write)
+        if strategy.startswith("skew-decomposed-"):
+            return run_skew_decomposed_policy(self, blocks, batch.is_write)
+        if strategy == "generic-policy-kernel":
             return self._run_policy_kernel(blocks, batch.is_write)
-        if (not self._skewed and self._ways <= 2 and self._classifier is None
-                and self._clock == 0 and not batch.has_stores):
+        if strategy == "lru-run-collapse":
             return self._run_vectorized(blocks)
-        if self._skewed:
-            return self._run_skewed_kernel(blocks, batch.is_write)
+        if strategy == "lru-skewed-2way":
+            return self._run_skewed_kernel_2way(blocks, batch.is_write)
+        if strategy == "lru-skewed-generic":
+            return self._run_skewed_kernel_generic(blocks, batch.is_write)
         return self._run_dict_kernel(blocks, batch.is_write)
 
     # -- strategy 1: fully vectorized (non-skewed, <= 2 ways, loads, cold) --
@@ -343,7 +401,7 @@ class BatchSetAssociativeCache:
     def _run_dict_kernel(self, blocks: np.ndarray,
                          is_write: np.ndarray) -> np.ndarray:
         n = blocks.shape[0]
-        sets_l = cached_set_indices(self._vec_index, blocks, 0).tolist()
+        sets_l = cached_set_index_lists(self._vec_index, blocks, 0)
         blocks_l = blocks.tolist()
         writes_l = is_write.tolist()
         sets_state = self._sets
@@ -404,17 +462,11 @@ class BatchSetAssociativeCache:
 
     # -- strategy 2b: skewed tight kernel ------------------------------- #
 
-    def _run_skewed_kernel(self, blocks: np.ndarray,
-                           is_write: np.ndarray) -> np.ndarray:
-        if self._ways == 2:
-            return self._run_skewed_kernel_2way(blocks, is_write)
-        return self._run_skewed_kernel_generic(blocks, is_write)
-
     def _run_skewed_kernel_2way(self, blocks: np.ndarray,
                                 is_write: np.ndarray) -> np.ndarray:
         n = blocks.shape[0]
-        s0_l = cached_set_indices(self._vec_index, blocks, 0).tolist()
-        s1_l = cached_set_indices(self._vec_index, blocks, 1).tolist()
+        s0_l = cached_set_index_lists(self._vec_index, blocks, 0)
+        s1_l = cached_set_index_lists(self._vec_index, blocks, 1)
         blocks_l = blocks.tolist()
         writes_l = is_write.tolist()
         t0, t1 = self._way_tags
@@ -511,7 +563,7 @@ class BatchSetAssociativeCache:
                                    is_write: np.ndarray) -> np.ndarray:
         n = blocks.shape[0]
         ways = self._ways
-        way_sets = [cached_set_indices(self._vec_index, blocks, w).tolist()
+        way_sets = [cached_set_index_lists(self._vec_index, blocks, w)
                     for w in range(ways)]
         blocks_l = blocks.tolist()
         writes_l = is_write.tolist()
@@ -603,11 +655,11 @@ class BatchSetAssociativeCache:
         ways = self._ways
         if self._skewed:
             way_sets = [
-                cached_set_indices(self._vec_index, blocks, w).tolist()
+                cached_set_index_lists(self._vec_index, blocks, w)
                 for w in range(ways)
             ]
         else:
-            shared = cached_set_indices(self._vec_index, blocks, 0).tolist()
+            shared = cached_set_index_lists(self._vec_index, blocks, 0)
             way_sets = [shared] * ways
         blocks_l = blocks.tolist()
         writes_l = is_write.tolist()
@@ -1008,23 +1060,50 @@ class BatchVictimCache:
         """Fraction of all accesses satisfied by the victim buffer."""
         return self.victim_hits / self.stats.accesses if self.stats.accesses else 0.0
 
+    def dispatch_strategy(self, batch: AddressBatch) -> str:
+        """Name of the kernel :meth:`run` would execute for ``batch``.
+
+        ``"victim-decomposed-{lru,fifo,random,plru}"`` for a 1- or 2-way
+        main cache (the decomposed kernels of
+        :mod:`repro.engine.skew_decompose`, with the buffer as a dense
+        side-structure); ``"victim-generic-kernel"`` for wider main caches.
+        """
+        if self._ways <= 2:
+            return f"victim-decomposed-{self._replacement_name}"
+        return "victim-generic-kernel"
+
     def run(self, batch: AddressBatch) -> np.ndarray:
-        """Simulate a whole batch; returns the per-access overall hit mask."""
+        """Simulate a whole batch; returns the per-access overall hit mask.
+
+        The kernel is picked by :meth:`dispatch_strategy`.
+        """
         n = len(batch)
         if n == 0:
             return np.zeros(0, dtype=bool)
         blocks = cached_block_numbers(batch, self._block_size)
+        if self.dispatch_strategy(batch).startswith("victim-decomposed-"):
+            return run_victim_decomposed(self, blocks, batch.is_write)
+        return self._run_generic_kernel(blocks, batch.is_write)
+
+    def _run_generic_kernel(self, blocks: np.ndarray,
+                            is_write: np.ndarray) -> np.ndarray:
+        """The retained per-access victim kernel (any geometry, any policy).
+
+        Serves main caches wider than two ways, and remains the reference
+        implementation the differential suite pits the decomposed victim
+        kernels of :mod:`repro.engine.skew_decompose` against.
+        """
         ways = self._ways
         if self._skewed:
             way_sets = [
-                cached_set_indices(self._vec_index, blocks, w).tolist()
+                cached_set_index_lists(self._vec_index, blocks, w)
                 for w in range(ways)
             ]
         else:
-            shared = cached_set_indices(self._vec_index, blocks, 0).tolist()
+            shared = cached_set_index_lists(self._vec_index, blocks, 0)
             way_sets = [shared] * ways
         blocks_l = blocks.tolist()
-        writes_l = batch.is_write.tolist()
+        writes_l = is_write.tolist()
         tags = self._way_tags
         dirty = self._way_dirty
         vtags = self._victim_tags

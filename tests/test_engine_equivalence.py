@@ -325,6 +325,271 @@ class TestSetDecomposedVsGenericKernel:
             batch.resident_blocks())
 
 
+# --------------------------------------------------------------------- #
+# skew-decomposed kernels vs the generic kernel vs the scalar engine
+# --------------------------------------------------------------------- #
+
+def build_three_way_skewed_pair(replacement,
+                                write_policy=WritePolicy.WRITE_BACK_ALLOCATE):
+    """A (scalar, batch) 3-way skewed I-Poly pair (generic-ways kernels)."""
+    return build_pair("a2-Hp-Sk", ways=3, size=3 * 64 * 32,
+                      replacement=replacement, write_policy=write_policy)
+
+
+def build_victim_pair(ways, policy, scheme="a2", entries=4):
+    """A (scalar, batch) victim-cache pair with identical configuration."""
+    num_sets = 4096 // (32 * ways)
+    index = lambda: make_index_function(scheme, num_sets, ways=ways,
+                                        address_bits=19)
+    scalar = VictimCache(4096, 32, ways=ways, victim_entries=entries,
+                         index_function=index(), replacement=policy)
+    batch = BatchVictimCache(4096, 32, ways=ways, victim_entries=entries,
+                             index_function=index(), replacement=policy)
+    return scalar, batch
+
+
+def run_victim_via_generic_kernel(batch_cache, trace):
+    """Replay a trace through the retained generic victim kernel directly,
+    bypassing the decomposed dispatch — the differential reference."""
+    batch = batch_of(trace)
+    blocks = batch.block_numbers(batch_cache.block_size)
+    return batch_cache._run_generic_kernel(blocks, batch.is_write)
+
+
+def assert_victim_state_equal(left, right):
+    """Two BatchVictimCaches carry identical durable state: tags, dirty
+    bits, clocks and both structures' policy state tables."""
+    assert left._way_tags == right._way_tags
+    assert left._way_dirty == right._way_dirty
+    assert left._victim_tags == right._victim_tags
+    assert left._victim_dirty == right._victim_dirty
+    assert left._main_clock == right._main_clock
+    assert left._victim_clock == right._victim_clock
+    for lp, rp in ((left._main_policy, right._main_policy),
+                   (left._victim_policy, right._victim_policy)):
+        assert type(lp) is type(rp)
+        if hasattr(lp, "stamps"):
+            np.testing.assert_array_equal(lp.stamps, rp.stamps)
+        if hasattr(lp, "bits"):
+            np.testing.assert_array_equal(lp.bits, rp.bits)
+        if hasattr(lp, "counter"):
+            assert lp.counter == rp.counter
+
+
+def assert_victim_matches_scalar(scalar, batch_cache):
+    assert stats_snapshot(scalar.stats) == stats_snapshot(batch_cache.stats)
+    assert scalar.main_hits == batch_cache.main_hits
+    assert scalar.victim_hits == batch_cache.victim_hits
+
+
+@pytest.mark.parametrize("trace_name", POLICY_TRACES)
+@pytest.mark.parametrize("policy", DECOMPOSED_POLICIES)
+class TestSkewDecomposedVsGenericKernel:
+    """The skew-decomposed kernels, the retained generic kernel and the
+    scalar engine agree on skewed placement: same hits, same stats, same
+    resident blocks — and the same policy state tables afterwards, so any
+    kernel can continue any other's cache."""
+
+    def test_two_way_skewed(self, policy, trace_name):
+        trace = list(TRACES[trace_name]())
+        scalar, decomposed = build_pair(
+            "a2-Hp-Sk", replacement=policy,
+            write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        _, generic = build_pair(
+            "a2-Hp-Sk", replacement=policy,
+            write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        dec_hits = decomposed.run(batch_of(trace))
+        gen_hits = run_via_generic_kernel(generic, trace)
+        np.testing.assert_array_equal(ref_hits, dec_hits)
+        np.testing.assert_array_equal(dec_hits, gen_hits)
+        assert stats_snapshot(scalar.stats) == stats_snapshot(decomposed.stats)
+        assert stats_snapshot(decomposed.stats) == stats_snapshot(generic.stats)
+        assert sorted(decomposed.resident_blocks()) == sorted(
+            generic.resident_blocks())
+        assert_policy_state_equal(decomposed, generic)
+
+    def test_three_way_skewed(self, policy, trace_name):
+        trace = list(TRACES[trace_name]())
+        scalar, decomposed = build_three_way_skewed_pair(policy)
+        _, generic = build_three_way_skewed_pair(policy)
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        dec_hits = decomposed.run(batch_of(trace))
+        gen_hits = run_via_generic_kernel(generic, trace)
+        np.testing.assert_array_equal(ref_hits, dec_hits)
+        np.testing.assert_array_equal(dec_hits, gen_hits)
+        assert stats_snapshot(scalar.stats) == stats_snapshot(decomposed.stats)
+        assert stats_snapshot(decomposed.stats) == stats_snapshot(generic.stats)
+        assert_policy_state_equal(decomposed, generic)
+
+    def test_skewed_kernel_handoff_mid_stream(self, policy, trace_name):
+        """First batch through the generic kernel, second through the
+        skew-decomposed kernel: the shared state tables round-trip and the
+        combined run stays bit-exact with one scalar pass (and leaves the
+        same tables as an all-generic cache)."""
+        scalar, handoff = build_pair(
+            "a2-Hp-Sk", replacement=policy,
+            write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        _, generic = build_pair(
+            "a2-Hp-Sk", replacement=policy,
+            write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        trace = list(TRACES[trace_name]())
+        cut = len(trace) // 2
+        first, second = trace[:cut], trace[cut:]
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        vec_hits = np.concatenate([
+            run_via_generic_kernel(handoff, first),
+            handoff.run(batch_of(second)),    # skew-decomposed continues
+        ])
+        run_via_generic_kernel(generic, first)
+        run_via_generic_kernel(generic, second)
+        np.testing.assert_array_equal(ref_hits, vec_hits)
+        assert stats_snapshot(scalar.stats) == stats_snapshot(handoff.stats)
+        assert sorted(scalar.resident_blocks()) == sorted(
+            handoff.resident_blocks())
+        assert_policy_state_equal(handoff, generic)
+
+
+@pytest.mark.parametrize("trace_name", POLICY_TRACES)
+@pytest.mark.parametrize("ways", [1, 2])
+@pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)
+class TestVictimDecomposedVsGenericKernel:
+    """The decomposed victim kernels, the retained generic victim kernel
+    and the scalar model agree for 1- and 2-way main caches, all four
+    policies — including the full durable state both engines leave behind."""
+
+    def test_three_paths_agree(self, policy, ways, trace_name):
+        trace = list(TRACES[trace_name]())
+        scalar, decomposed = build_victim_pair(ways, policy)
+        _, generic = build_victim_pair(ways, policy)
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        dec_hits = decomposed.run(batch_of(trace))
+        gen_hits = run_victim_via_generic_kernel(generic, trace)
+        np.testing.assert_array_equal(ref_hits, dec_hits)
+        np.testing.assert_array_equal(dec_hits, gen_hits)
+        assert_victim_matches_scalar(scalar, decomposed)
+        assert stats_snapshot(decomposed.stats) == stats_snapshot(generic.stats)
+        assert_victim_state_equal(decomposed, generic)
+
+    def test_skewed_main(self, policy, ways, trace_name):
+        """Same three-path agreement with skewed I-Poly main-cache
+        placement (ways=1 degenerates to a single rehash, still exact)."""
+        trace = list(TRACES[trace_name]())
+        scalar, decomposed = build_victim_pair(ways, policy,
+                                               scheme="a2-Hp-Sk")
+        _, generic = build_victim_pair(ways, policy, scheme="a2-Hp-Sk")
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        dec_hits = decomposed.run(batch_of(trace))
+        gen_hits = run_victim_via_generic_kernel(generic, trace)
+        np.testing.assert_array_equal(ref_hits, dec_hits)
+        np.testing.assert_array_equal(dec_hits, gen_hits)
+        assert_victim_matches_scalar(scalar, decomposed)
+        assert_victim_state_equal(decomposed, generic)
+
+    def test_victim_kernel_handoff_mid_stream(self, policy, ways, trace_name):
+        """Generic victim kernel first, decomposed kernel second: state
+        round-trips bit-exactly against one scalar pass and an all-generic
+        cache."""
+        scalar, handoff = build_victim_pair(ways, policy)
+        _, generic = build_victim_pair(ways, policy)
+        trace = list(TRACES[trace_name]())
+        cut = len(trace) // 2
+        first, second = trace[:cut], trace[cut:]
+        ref_hits = scalar_hit_sequence(scalar, trace)
+        vec_hits = np.concatenate([
+            run_victim_via_generic_kernel(handoff, first),
+            handoff.run(batch_of(second)),    # decomposed continues
+        ])
+        run_victim_via_generic_kernel(generic, first)
+        run_victim_via_generic_kernel(generic, second)
+        np.testing.assert_array_equal(ref_hits, vec_hits)
+        assert_victim_matches_scalar(scalar, handoff)
+        assert_victim_state_equal(handoff, generic)
+
+
+def test_lru_skewed_two_way_vs_generic_ways_kernel():
+    """The dedicated 2-way skewed LRU kernel and the generic-ways skewed
+    LRU kernel are interchangeable on the same cache type."""
+    trace = list(random_accesses(5000, 64 * 1024, write_fraction=0.3,
+                                 seed=41))
+    scalar, two_way = build_pair("a2-Hp-Sk",
+                                 write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    _, generic_ways = build_pair("a2-Hp-Sk",
+                                 write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    batch = batch_of(trace)
+    ref_hits = scalar_hit_sequence(scalar, trace)
+    two_hits = two_way.run(batch)
+    gen_hits = generic_ways._run_skewed_kernel_generic(
+        batch.block_numbers(generic_ways.block_size), batch.is_write)
+    np.testing.assert_array_equal(ref_hits, two_hits)
+    np.testing.assert_array_equal(two_hits, gen_hits)
+    assert stats_snapshot(two_way.stats) == stats_snapshot(generic_ways.stats)
+    assert two_way._way_tags == generic_ways._way_tags
+    assert two_way._way_used == generic_ways._way_used
+
+
+# --------------------------------------------------------------------- #
+# dispatcher introspection: every (kernel, policy, organisation) path
+# --------------------------------------------------------------------- #
+
+def test_dispatch_strategy_covers_every_kernel_path():
+    """`dispatch_strategy` names the kernel `run` executes, for every
+    (organisation, policy, batch) combination the dispatcher distinguishes —
+    and the strategy-for-strategy behaviour matches the scalar engine."""
+    loads = list(strided_vector(17, elements=64, sweeps=2))
+    mixed = list(random_accesses(2000, 32 * 1024, write_fraction=0.3))
+
+    expectations = []
+    for policy in ("fifo", "random", "plru"):
+        expectations.append(
+            (build_pair("a2", replacement=policy), mixed,
+             f"set-decomposed-{policy}"))
+        expectations.append(
+            (build_pair("a2-Hp-Sk", replacement=policy), mixed,
+             f"skew-decomposed-{policy}"))
+        expectations.append(
+            (build_pair("a2", replacement=policy, classify=True), mixed,
+             "generic-policy-kernel"))
+        expectations.append(
+            (build_pair("a2-Hp-Sk", ways=4, replacement=policy), mixed,
+             f"skew-decomposed-{policy}"))
+    expectations.append((build_pair("a2"), loads, "lru-run-collapse"))
+    expectations.append((build_pair("a2"), mixed, "lru-dict"))
+    expectations.append((build_pair("a2-Hp-Sk"), mixed, "lru-skewed-2way"))
+    expectations.append(
+        (build_pair("a2-Hp-Sk", ways=4), mixed, "lru-skewed-generic"))
+
+    for (scalar, batch_cache), trace, expected in expectations:
+        batch = batch_of(trace)
+        assert batch_cache.dispatch_strategy(batch) == expected
+        assert_equivalent(scalar, batch_cache, trace)
+
+    for ways, policy, expected in [
+        (1, "lru", "victim-decomposed-lru"),
+        (1, "fifo", "victim-decomposed-fifo"),
+        (2, "random", "victim-decomposed-random"),
+        (2, "plru", "victim-decomposed-plru"),
+        (4, "lru", "victim-generic-kernel"),
+    ]:
+        scalar, batch_cache = build_victim_pair(ways, policy)
+        batch = batch_of(mixed)
+        assert batch_cache.dispatch_strategy(batch) == expected
+        ref_hits = scalar_hit_sequence(scalar, mixed)
+        vec_hits = batch_cache.run(batch)
+        np.testing.assert_array_equal(ref_hits, vec_hits)
+        assert_victim_matches_scalar(scalar, batch_cache)
+
+
+def test_lru_run_collapse_is_batch_dependent():
+    """The run-collapse fast path is only chosen for cold load-only
+    batches; the same cache reports the dict kernel once warmed."""
+    _, batch_cache = build_pair("a2")
+    loads = batch_of(list(strided_vector(17, elements=64, sweeps=2)))
+    assert batch_cache.dispatch_strategy(loads) == "lru-run-collapse"
+    batch_cache.run(loads)
+    assert batch_cache.dispatch_strategy(loads) == "lru-dict"
+
+
 @pytest.mark.parametrize("policy", DECOMPOSED_POLICIES)
 def test_decomposed_dispatch_conditions(policy, monkeypatch):
     """Non-skewed, classifier-free, non-LRU caches route through the

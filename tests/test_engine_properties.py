@@ -211,6 +211,165 @@ def test_set_decomposed_matches_generic_kernel_on_random_traces(
         assert dp.counter == gp.counter
 
 
+@st.composite
+def skewed_ipoly_configs(draw):
+    """A random *skewed* I-Poly geometry with random polynomial choices."""
+    m = draw(st.integers(min_value=3, max_value=8))
+    ways = draw(st.integers(min_value=2, max_value=3))
+    candidates = list(irreducible_polynomials(m))
+    assume(len(candidates) >= ways)
+    polys = draw(st.permutations(candidates).map(lambda p: list(p)[:ways]))
+    address_bits = draw(st.integers(min_value=m, max_value=20))
+    return m, ways, address_bits, polys
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, (1 << 20) - 1), min_size=2, max_size=300),
+    writes=st.data(),
+    config=skewed_ipoly_configs(),
+    write_back=st.booleans(),
+    replacement=st.sampled_from(["fifo", "random", "plru"]),
+)
+def test_skew_decomposed_three_path_agreement_on_random_polynomials(
+        addresses, writes, config, write_back, replacement):
+    """Random mixed load/store batches over random GF(2) polynomial index
+    functions agree bit-exactly across all three paths — the scalar engine,
+    the skew-decomposed kernels and the retained generic kernel — with the
+    policy state tables compared after every batch."""
+    m, ways, address_bits, polys = config
+    num_sets = 1 << m
+    block = 16
+    size = num_sets * block * ways
+    is_write = writes.draw(st.lists(st.booleans(),
+                                    min_size=len(addresses),
+                                    max_size=len(addresses)))
+    policy = (WritePolicy.WRITE_BACK_ALLOCATE if write_back
+              else WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+
+    def index_fn():
+        return IPolyIndexing(num_sets, ways=ways, skewed=True,
+                             address_bits=address_bits, polynomials=polys)
+
+    def build_batch_cache():
+        return BatchSetAssociativeCache(
+            size, block, ways, index_function=index_fn(),
+            replacement=replacement, write_policy=policy)
+
+    scalar = SetAssociativeCache(size, block, ways, index_function=index_fn(),
+                                 replacement=replacement, write_policy=policy)
+    decomposed = build_batch_cache()
+    generic = build_batch_cache()
+    assert decomposed.dispatch_strategy(
+        AddressBatch.from_arrays([0])) == f"skew-decomposed-{replacement}"
+
+    cut = len(addresses) // 2
+    for lo, hi in ((0, cut), (cut, len(addresses))):
+        if lo == hi:
+            continue
+        chunk_addresses = addresses[lo:hi]
+        chunk_writes = is_write[lo:hi]
+        batch = AddressBatch.from_arrays(
+            np.array(chunk_addresses, dtype=np.uint64),
+            np.array(chunk_writes, dtype=bool))
+        ref_hits = [scalar.access(a, w).hit
+                    for a, w in zip(chunk_addresses, chunk_writes)]
+        dec_hits = decomposed.run(batch)
+        gen_hits = generic._run_policy_kernel(
+            batch.block_numbers(block), batch.is_write)
+        assert dec_hits.tolist() == ref_hits
+        assert gen_hits.tolist() == ref_hits
+        # Policy state tables after every batch, not just at the end.
+        dp, gp = decomposed._vec_policy, generic._vec_policy
+        if hasattr(dp, "stamps"):
+            assert dp.stamps.tolist() == gp.stamps.tolist()
+        if hasattr(dp, "bits"):
+            assert dp.bits.tolist() == gp.bits.tolist()
+        if hasattr(dp, "counter"):
+            assert dp.counter == gp.counter
+    for field in ("loads", "stores", "load_misses", "store_misses",
+                  "evictions", "writebacks"):
+        assert getattr(decomposed.stats, field) == getattr(scalar.stats, field)
+        assert getattr(generic.stats, field) == getattr(scalar.stats, field)
+    assert sorted(scalar.resident_blocks()) == sorted(
+        decomposed.resident_blocks())
+    assert sorted(scalar.resident_blocks()) == sorted(
+        generic.resident_blocks())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, (1 << 16) - 1), min_size=2, max_size=250),
+    writes=st.data(),
+    entries=st.integers(1, 6),
+    ways=st.integers(1, 2),
+    config=skewed_ipoly_configs(),
+    replacement=st.sampled_from(["lru", "fifo", "random", "plru"]),
+)
+def test_victim_decomposed_three_path_agreement_on_random_polynomials(
+        addresses, writes, entries, ways, config, replacement):
+    """The decomposed victim kernels agree with the generic victim kernel
+    and the scalar model over random skewed GF(2) placements, state tables
+    compared after every batch."""
+    from repro.cache.victim import VictimCache
+    from repro.engine import BatchVictimCache
+
+    m, fn_ways, address_bits, polys = config
+    num_sets = 1 << m
+    block = 16
+    size = num_sets * block * ways
+    is_write = writes.draw(st.lists(st.booleans(),
+                                    min_size=len(addresses),
+                                    max_size=len(addresses)))
+
+    def index_fn():
+        return IPolyIndexing(num_sets, ways=max(fn_ways, ways), skewed=True,
+                             address_bits=address_bits, polynomials=polys)
+
+    scalar = VictimCache(size, block, ways=ways, victim_entries=entries,
+                         index_function=index_fn(), replacement=replacement)
+    decomposed = BatchVictimCache(size, block, ways=ways,
+                                  victim_entries=entries,
+                                  index_function=index_fn(),
+                                  replacement=replacement)
+    generic = BatchVictimCache(size, block, ways=ways,
+                               victim_entries=entries,
+                               index_function=index_fn(),
+                               replacement=replacement)
+
+    cut = len(addresses) // 2
+    for lo, hi in ((0, cut), (cut, len(addresses))):
+        if lo == hi:
+            continue
+        chunk_addresses = addresses[lo:hi]
+        chunk_writes = is_write[lo:hi]
+        batch = AddressBatch.from_arrays(
+            np.array(chunk_addresses, dtype=np.uint64),
+            np.array(chunk_writes, dtype=bool))
+        ref_hits = [scalar.access(a, w).hit
+                    for a, w in zip(chunk_addresses, chunk_writes)]
+        dec_hits = decomposed.run(batch)
+        gen_hits = generic._run_generic_kernel(
+            batch.block_numbers(block), batch.is_write)
+        assert dec_hits.tolist() == ref_hits
+        assert gen_hits.tolist() == ref_hits
+        assert decomposed._way_tags == generic._way_tags
+        assert decomposed._victim_tags == generic._victim_tags
+        for dp, gp in ((decomposed._main_policy, generic._main_policy),
+                       (decomposed._victim_policy, generic._victim_policy)):
+            if hasattr(dp, "stamps"):
+                assert dp.stamps.tolist() == gp.stamps.tolist()
+            if hasattr(dp, "bits"):
+                assert dp.bits.tolist() == gp.bits.tolist()
+            if hasattr(dp, "counter"):
+                assert dp.counter == gp.counter
+    assert scalar.main_hits == decomposed.main_hits == generic.main_hits
+    assert scalar.victim_hits == decomposed.victim_hits == generic.victim_hits
+    assert scalar.stats.writebacks == decomposed.stats.writebacks
+    assert scalar.stats.load_misses == decomposed.stats.load_misses
+    assert scalar.stats.store_misses == decomposed.stats.store_misses
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     addresses=st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=250),

@@ -18,6 +18,7 @@ import pytest
 from repro.engine import ENGINES
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.miss_ratio_study import run_miss_ratio_study
+from repro.experiments.replacement_study import run_replacement_study
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -79,6 +80,35 @@ def test_plru_miss_ratio_study_matches_golden(engine):
     assert result.miss_ratios == golden["miss_ratios"]
 
 
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_skewed_plru_miss_ratio_matches_golden(engine):
+    """Skewed-placement PLRU miss-ratio study: pins the skew-decomposed
+    PLRU kernel (via the skewed-XOR and skewed-I-Poly organisations) so a
+    kernel regression fails without the scalar engine in the loop."""
+    golden = load_golden("miss_ratio_study_plru_skewed.json")
+    params = golden["params"]
+    result = run_miss_ratio_study(programs=params["programs"],
+                                  accesses=params["accesses"],
+                                  seed=params["seed"],
+                                  replacement=params["replacement"],
+                                  engine=engine)
+    assert result.miss_ratios == golden["miss_ratios"]
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_replacement_study_matches_golden(engine):
+    """Replacement study (policy x organisation, victim cache included):
+    pins every decomposed victim kernel and every skew-decomposed kernel to
+    one committed snapshot."""
+    golden = load_golden("replacement_study.json")
+    params = golden["params"]
+    result = run_replacement_study(programs=params["programs"],
+                                   accesses=params["accesses"],
+                                   seed=params["seed"],
+                                   engine=engine)
+    assert result.miss_ratios == golden["miss_ratios"]
+
+
 def test_goldens_are_committed():
     """The fixtures exist and cover the four Figure 1 schemes."""
     fig = load_golden("figure1_miss_ratios.json")
@@ -91,3 +121,13 @@ def test_goldens_are_committed():
     plru = load_golden("miss_ratio_study_plru.json")
     assert plru["params"]["replacement"] == "plru"
     assert set(plru["miss_ratios"]) == set(plru["params"]["programs"])
+    skewed = load_golden("miss_ratio_study_plru_skewed.json")
+    assert skewed["params"]["replacement"] == "plru"
+    assert set(skewed["miss_ratios"]) == set(skewed["params"]["programs"])
+    for row in skewed["miss_ratios"].values():
+        assert "ipoly-skewed-2way" in row and "skewed-xor-2way" in row
+    study = load_golden("replacement_study.json")
+    assert set(study["miss_ratios"]) == {
+        "conventional-2way", "skewed-ipoly-2way", "victim-direct+8"}
+    for row in study["miss_ratios"].values():
+        assert sorted(row) == ["fifo", "lru", "plru", "random"]

@@ -22,6 +22,7 @@ from repro.core.index import (
 from repro.engine import (
     AddressBatch,
     cached_block_numbers,
+    cached_set_index_lists,
     cached_set_indices,
     memo_clear,
     memo_info,
@@ -277,6 +278,82 @@ class TestDerivedArrayMemos:
             assert trace_cache_info()["entries"] == before
         finally:
             batching._TRACE_CACHE.byte_limit = old
+
+    def test_set_index_lists_identity_and_value(self):
+        """The list memo serves one shared list per (function, way, trace),
+        bit-equal to the array form."""
+        addresses, _ = cached_strided_arrays(19, elements=64, sweeps=2)
+        batch = AddressBatch.from_arrays(addresses)
+        blocks = cached_block_numbers(batch, 32)
+        vec = vectorize_index(
+            make_index_function("a2-Hp-Sk", 128, ways=2, address_bits=19))
+        first = cached_set_index_lists(vec, blocks, 0)
+        assert first == cached_set_indices(vec, blocks, 0).tolist()
+        assert cached_set_index_lists(vec, blocks, 0) is first
+        assert cached_set_index_lists(vec, blocks, 1) is not first
+        assert memo_info()["set_lists"]["hits"] == 1
+
+    def test_large_geometries_bypass_the_list_memo(self):
+        """Indices above CPython's interned small-int range are ~28-byte
+        boxed objects the pointer-size byte estimate cannot see, so the
+        list memo refuses geometries with num_sets > 257 rather than
+        silently retaining several times its budget."""
+        addresses, _ = cached_strided_arrays(31, elements=64, sweeps=2)
+        batch = AddressBatch.from_arrays(addresses)
+        blocks = cached_block_numbers(batch, 32)
+        vec = vectorize_index(make_index_function("a2", 512, ways=1))
+        first = cached_set_index_lists(vec, blocks, 0)
+        second = cached_set_index_lists(vec, blocks, 0)
+        assert first is not second and first == second
+        assert memo_info()["set_lists"]["entries"] == 0
+
+    def test_writable_blocks_bypass_the_list_memo(self):
+        """Writable block arrays are never served a stale list."""
+        blocks = np.arange(64, dtype=np.int64)
+        vec = vectorize_index(make_index_function("a2", 16, ways=1))
+        first = cached_set_index_lists(vec, blocks, 0)
+        second = cached_set_index_lists(vec, blocks, 0)
+        assert first is not second and first == second
+        assert memo_info()["set_lists"]["entries"] == 0
+
+    def test_skewed_kernel_hits_the_list_memo(self):
+        """Regression for the kernels re-deriving per-way index lists per
+        batch: the skewed batch kernels fetch their per-way streams through
+        the list memo, so a second cache over the same trace hits it."""
+        from repro.engine import BatchSetAssociativeCache
+
+        addresses, writes = cached_strided_arrays(23, elements=128, sweeps=3)
+        batch = AddressBatch.from_arrays(addresses, writes)
+
+        def build():
+            return BatchSetAssociativeCache(
+                8192, 32, 2,
+                index_function=make_index_function("a2-Hp-Sk", 128, ways=2,
+                                                   address_bits=19),
+                replacement="fifo")
+
+        build().run(batch)
+        info = memo_info()["set_lists"]
+        assert info["misses"] == 2 and info["hits"] == 0  # one per way
+        build().run(batch)
+        info = memo_info()["set_lists"]
+        assert info["misses"] == 2 and info["hits"] == 2  # served, not rebuilt
+
+    def test_victim_kernel_hits_the_list_memo(self):
+        """The decomposed victim kernel routes its index stream through the
+        list memo too."""
+        from repro.engine import BatchVictimCache
+
+        addresses, writes = cached_strided_arrays(29, elements=128, sweeps=3)
+        batch = AddressBatch.from_arrays(addresses, writes)
+
+        def build():
+            return BatchVictimCache(4096, 32, ways=1, victim_entries=8)
+
+        build().run(batch)
+        assert memo_info()["set_lists"]["misses"] == 1
+        build().run(batch)
+        assert memo_info()["set_lists"]["hits"] == 1
 
     def test_caches_survive_concurrent_thread_sweeps(self):
         """Thread-mode workers share the process-global caches; hammering
