@@ -35,11 +35,18 @@ overwriting history::
     PYTHONPATH=src python benchmarks/bench_engine.py --smoke
 
 ``--smoke`` runs a short trace through every kernel-dispatch path —
-bit-exactness still asserted, speedup bounds and the artifact skipped — so
-CI can catch dispatch regressions on every push without flaky wall-clock
-assertions.  ``REPRO_BENCH_ENGINE_ACCESSES`` overrides the trace length
-(default 1M); ``REPRO_BENCH_ENGINE_JSON`` overrides the artifact path
-(empty disables it).
+including the one-pass multi-configuration profiler of the sweep section —
+with bit-exactness still asserted but the speedup bounds skipped, so CI can
+catch dispatch regressions on every push without flaky wall-clock
+assertions; smoke runs append to the trajectory artifact tagged
+``"smoke": true`` (the CI smoke job uploads the file as a workflow
+artifact).  Each row records the kernel that served it, straight from
+``dispatch_strategy(batch)``, and each run carries a ``sweep`` section
+comparing the profiler against the per-config vectorized path on a
+16-configuration conventional-LRU capacity/associativity grid (bounded at
+>= 5x for full-length runs).  ``REPRO_BENCH_ENGINE_ACCESSES`` overrides the
+trace length (default 1M); ``REPRO_BENCH_ENGINE_JSON`` overrides the
+artifact path (empty disables it).
 """
 
 import argparse
@@ -53,7 +60,13 @@ import pytest
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.victim import VictimCache
 from repro.core.index import make_index_function
-from repro.engine import AddressBatch, BatchSetAssociativeCache, BatchVictimCache
+from repro.engine import (
+    AddressBatch,
+    BatchSetAssociativeCache,
+    BatchVictimCache,
+    profile_cache_clear,
+    run_lru_grid,
+)
 from repro.experiments.config import PAPER_HASH_BITS, PAPER_L1_8KB
 from repro.trace.batching import cached_strided_arrays
 
@@ -74,6 +87,18 @@ REQUIRED_SPEEDUP = 10.0
 #: placement, and the decomposed victim kernels (same bar as LRU — the
 #: point of these layers).
 REQUIRED_SPEEDUP_POLICY = 10.0
+
+#: Minimum one-pass-profiler-over-per-config ratio on the conventional-LRU
+#: capacity/associativity sweep below.  Both sides are the *vectorized*
+#: engine — this bounds the sweep-level win of the multi-configuration
+#: profiler on top of the already-bounded per-config kernels.
+REQUIRED_SPEEDUP_SWEEP = 5.0
+
+#: The conventional-LRU capacity/associativity grid of the sweep section:
+#: two set counts x eight associativities = 16 configurations (2 KB-32 KB at
+#: 32-byte lines), priced by two one-pass level profiles.
+SWEEP_GRID = [(num_sets, ways) for num_sets in (64, 128)
+              for ways in range(1, 9)]
 
 #: Below this trace length the constant batch-setup overhead dominates and
 #: wall-clock ratios are noise, so the speedup assertions are skipped (the
@@ -144,6 +169,10 @@ def compare_engines(scheme, accesses=BENCH_ENGINE_ACCESSES, replacement=None):
     """Time both engines on the same trace; returns a result dict."""
     trace = _build_trace(accesses)
     scalar, batch = _make_caches(scheme, replacement=replacement)
+    # The dispatcher's verdict for this (configuration, batch), recorded
+    # before the run (dispatch depends on cold state and the store mask) so
+    # the trajectory shows which kernel produced each row.
+    kernel = batch.dispatch_strategy(trace)
 
     start = time.perf_counter()
     _run_scalar(scalar, trace)
@@ -159,6 +188,7 @@ def compare_engines(scheme, accesses=BENCH_ENGINE_ACCESSES, replacement=None):
     return {
         "scheme": scheme,
         "replacement": replacement or "lru",
+        "kernel": kernel,
         "accesses": n,
         "scalar_aps": n / scalar_seconds,
         "vector_aps": n / vector_seconds,
@@ -176,6 +206,7 @@ def compare_victim_kernel(accesses=BENCH_ENGINE_ACCESSES, replacement=None):
     batch = BatchVictimCache(geometry.size_bytes, geometry.block_size,
                              ways=1, victim_entries=8,
                              replacement=replacement)
+    kernel = batch.dispatch_strategy(trace)
 
     start = time.perf_counter()
     access = scalar.access
@@ -195,12 +226,104 @@ def compare_victim_kernel(accesses=BENCH_ENGINE_ACCESSES, replacement=None):
     return {
         "scheme": "victim-direct+8",
         "replacement": replacement or "lru",
+        "kernel": kernel,
         "accesses": n,
         "scalar_aps": n / scalar_seconds,
         "vector_aps": n / vector_seconds,
         "speedup": scalar_seconds / vector_seconds,
         "miss_ratio": scalar.stats.miss_ratio,
     }
+
+
+def compare_lru_grid_sweep(accesses=BENCH_ENGINE_ACCESSES, check_scalar=True):
+    """Time the 16-configuration LRU grid: one-pass profiler vs per-config.
+
+    Both timings drive the *vectorized* engine over the same trace through
+    :func:`repro.engine.run_lru_grid` — ``profile="never"`` runs each
+    configuration's own batch kernel, ``profile="always"`` prices the whole
+    grid out of one capped stack pass per set count.  Every configuration's
+    counts must agree exactly between the two paths (and, when
+    ``check_scalar`` is set, with a scalar-model replay), so the sweep-level
+    speedup claim can never drift away from correctness.
+
+    The scalar cross-check replays the trace once per grid configuration
+    outside the timed regions; at the default 1M accesses that dominates
+    this function's wall clock.  It stays on by default because the sweep
+    section's contract is exact equality against *both* the per-config
+    kernels and the scalar models — pass ``check_scalar=False`` for a
+    timing-only run.
+    """
+    trace = _build_trace(accesses)
+    block_size = PAPER_L1_8KB.block_size
+
+    start = time.perf_counter()
+    per_config = run_lru_grid(trace, block_size, SWEEP_GRID, profile="never")
+    per_config_seconds = time.perf_counter() - start
+
+    profile_cache_clear()  # time a cold profile, not a memo hit
+    start = time.perf_counter()
+    profiled = run_lru_grid(trace, block_size, SWEEP_GRID, profile="always")
+    profile_seconds = time.perf_counter() - start
+
+    configs = []
+    for num_sets, ways in SWEEP_GRID:
+        counts = profiled[(num_sets, ways)]
+        assert counts == per_config[(num_sets, ways)], (
+            f"profiler diverged from per-config kernels at "
+            f"{num_sets} sets x {ways} ways")
+        if check_scalar:
+            scalar = SetAssociativeCache(num_sets * ways * block_size,
+                                         block_size, ways)
+            _run_scalar(scalar, trace)
+            scalar_counts = (scalar.stats.loads, scalar.stats.stores,
+                             scalar.stats.load_misses,
+                             scalar.stats.store_misses)
+            assert scalar_counts == (counts.loads, counts.stores,
+                                     counts.load_misses,
+                                     counts.store_misses), (
+                f"profiler diverged from the scalar model at "
+                f"{num_sets} sets x {ways} ways")
+            assert counts.miss_ratio == scalar.stats.miss_ratio
+        configs.append({"num_sets": num_sets, "ways": ways,
+                        "size_bytes": num_sets * ways * block_size,
+                        "miss_ratio": counts.miss_ratio})
+    return {
+        "kernel": "multiconfig-profile",
+        "configs": len(SWEEP_GRID),
+        "accesses": len(trace),
+        "per_config_seconds": per_config_seconds,
+        "profile_seconds": profile_seconds,
+        "speedup": per_config_seconds / profile_seconds,
+        "scalar_checked": bool(check_scalar),
+        "rows": configs,
+    }
+
+
+@pytest.mark.benchmark(group="engine-sweep")
+def test_lru_grid_profiler_throughput(benchmark):
+    """The one-pass profiler beats the per-config vectorized sweep >= 5x."""
+    trace = _build_trace(BENCH_ENGINE_ACCESSES)
+    block_size = PAPER_L1_8KB.block_size
+
+    start = time.perf_counter()
+    per_config = run_lru_grid(trace, block_size, SWEEP_GRID, profile="never")
+    per_config_seconds = time.perf_counter() - start
+
+    def _profiled_run():
+        profile_cache_clear()
+        return run_lru_grid(trace, block_size, SWEEP_GRID, profile="always")
+
+    profiled = benchmark.pedantic(_profiled_run, rounds=3, iterations=1)
+    profile_seconds = benchmark.stats.stats.min
+
+    assert profiled == per_config, "profiler diverged from per-config kernels"
+    speedup = per_config_seconds / profile_seconds
+    print(f"\nlru-grid x{len(SWEEP_GRID)}: per-config {per_config_seconds:.2f}s, "
+          f"one-pass profile {profile_seconds:.2f}s ({speedup:.1f}x)")
+    if len(trace) >= MIN_ACCESSES_FOR_SPEEDUP_CHECK:
+        assert speedup >= REQUIRED_SPEEDUP_SWEEP, (
+            f"lru-grid sweep: profiler only {speedup:.1f}x over per-config "
+            f"(required {REQUIRED_SPEEDUP_SWEEP}x)")
 
 
 def _load_trajectory(path):
@@ -224,7 +347,8 @@ def _load_trajectory(path):
     return []
 
 
-def _write_artifact(rows, accesses, path=BENCH_ENGINE_JSON):
+def _write_artifact(rows, accesses, path=BENCH_ENGINE_JSON, sweep=None,
+                    smoke=False):
     """Append this run to the machine-readable trajectory artifact."""
     if not path:
         return None
@@ -233,11 +357,14 @@ def _write_artifact(rows, accesses, path=BENCH_ENGINE_JSON):
         "unix_time": int(time.time()),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "smoke": bool(smoke),
         "workload": {"elements": ELEMENTS, "stride": STRIDE,
                      "accesses": accesses, "cache": PAPER_L1_8KB.label},
         "required_speedup_lru": REQUIRED_SPEEDUP,
         "required_speedup_policy": REQUIRED_SPEEDUP_POLICY,
+        "required_speedup_sweep": REQUIRED_SPEEDUP_SWEEP,
         "rows": rows,
+        "sweep": sweep,
     })
     artifact = {
         "benchmark": "bench_engine",
@@ -384,23 +511,25 @@ def test_victim_kernel_throughput(benchmark, policy):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="short trace through every kernel-dispatch path; "
-                             "bit-exactness asserted, speedup bounds and the "
-                             "JSON artifact skipped")
+                        help="short trace through every kernel-dispatch path "
+                             "(sweep profiler included); bit-exactness "
+                             "asserted, speedup bounds skipped, the appended "
+                             "JSON run tagged smoke")
     args = parser.parse_args(argv)
     accesses = SMOKE_ACCESSES if args.smoke else BENCH_ENGINE_ACCESSES
 
     print(f"strided trace: {ELEMENTS} elements, stride {STRIDE}, "
           f"{accesses:,} accesses, {PAPER_L1_8KB.label} cache"
           + (" [smoke]" if args.smoke else "") + "\n")
-    header = (f"{'scheme':16s} {'repl':6s} {'scalar acc/s':>14s} "
-              f"{'vector acc/s':>14s} {'speedup':>8s} {'miss%':>7s}")
+    header = (f"{'scheme':16s} {'repl':6s} {'kernel':24s} "
+              f"{'scalar acc/s':>14s} {'vector acc/s':>14s} "
+              f"{'speedup':>8s} {'miss%':>7s}")
     print(header)
     print("-" * len(header))
 
     def show(row):
         print(f"{row['scheme']:16s} {row['replacement']:6s} "
-              f"{row['scalar_aps']:14,.0f} "
+              f"{row['kernel']:24s} {row['scalar_aps']:14,.0f} "
               f"{row['vector_aps']:14,.0f} {row['speedup']:7.1f}x "
               f"{100 * row['miss_ratio']:6.2f}%")
 
@@ -446,10 +575,23 @@ def main(argv=None):
         print("\nbit-exact CacheStats on every kernel path "
               "(speedup bounds skipped below "
               f"{MIN_ACCESSES_FOR_SPEEDUP_CHECK:,} accesses)")
-    if not args.smoke:
-        path = _write_artifact(rows, accesses)
-        if path:
-            print(f"appended run to {path}")
+
+    # Sweep-level section: the one-pass multi-configuration profiler against
+    # the per-config vectorized path on a 16-configuration LRU grid.
+    sweep = compare_lru_grid_sweep(accesses=accesses)
+    print(f"\nlru-grid sweep ({sweep['configs']} conventional-LRU configs, "
+          f"{sweep['accesses']:,} accesses): per-config "
+          f"{sweep['per_config_seconds']:.2f}s, one-pass profile "
+          f"{sweep['profile_seconds']:.2f}s ({sweep['speedup']:.1f}x), "
+          f"bit-exact vs per-config kernels and scalar models")
+    if check_bounds:
+        assert sweep["speedup"] >= REQUIRED_SPEEDUP_SWEEP, (
+            f"lru-grid sweep: profiler only {sweep['speedup']:.1f}x over "
+            f"per-config (required {REQUIRED_SPEEDUP_SWEEP}x)")
+
+    path = _write_artifact(rows, accesses, sweep=sweep, smoke=args.smoke)
+    if path:
+        print(f"appended run to {path}")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,11 @@ differential suite in ``tests/test_engine_equivalence.py``.
 :mod:`repro.engine.tabulated` accelerates the scalar I-Poly function itself
 for the sequential processor simulator, and :mod:`repro.engine.sweep` fans
 experiment sweeps across ``concurrent.futures`` workers.
+:mod:`repro.engine.multiconfig` prices whole conventional-LRU
+capacity/associativity sweeps out of single stack-distance /
+all-associativity trace passes (``MultiConfigPlan`` partitions a sweep's
+tasks into profilable and kernel-run configurations; drivers expose the
+policy as ``profile={"auto", "always", "never"}``).
 
 Experiment drivers expose the choice as ``engine={"reference", "vectorized"}``
 (CLI: ``--engine``); :data:`ENGINES` names the valid values.
@@ -32,6 +37,17 @@ from .memo import (
     cached_set_indices,
     memo_clear,
     memo_info,
+)
+from .multiconfig import (
+    PROFILE_MODES,
+    MultiConfigLRUProfile,
+    MultiConfigPlan,
+    ProfileCounts,
+    StackDistanceProfile,
+    check_profile_mode,
+    profile_cache_clear,
+    profile_cache_info,
+    run_lru_grid,
 )
 from .replacement_vec import (
     VecReplacementState,
@@ -65,6 +81,15 @@ __all__ = [
     "cached_set_index_lists",
     "memo_info",
     "memo_clear",
+    "PROFILE_MODES",
+    "check_profile_mode",
+    "ProfileCounts",
+    "StackDistanceProfile",
+    "MultiConfigLRUProfile",
+    "MultiConfigPlan",
+    "run_lru_grid",
+    "profile_cache_info",
+    "profile_cache_clear",
     "GF2RemainderTable",
     "VectorizedIndex",
     "vectorize_index",

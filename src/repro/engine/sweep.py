@@ -60,7 +60,9 @@ def run_sweep(worker: Callable[[TaskT], ResultT],
               tasks: Sequence[TaskT],
               workers: Optional[int] = None,
               mode: str = "process",
-              chunksize: Optional[int] = None) -> List[ResultT]:
+              chunksize: Optional[int] = None,
+              initializer: Optional[Callable[..., None]] = None,
+              initargs: tuple = ()) -> List[ResultT]:
     """Apply ``worker`` to every task, optionally across a worker pool.
 
     Parameters
@@ -86,6 +88,15 @@ def run_sweep(worker: Callable[[TaskT], ResultT],
         coarser batching — e.g. one work item per group of related tasks —
         pre-group the tasks with :func:`chunk_tasks` and give ``worker`` a
         chunk-level callable.
+    initializer, initargs:
+        Run ``initializer(*initargs)`` once per worker before its first
+        task — e.g. to pre-warm a process's trace cache so no task pays the
+        first materialisation.  Passed through to the executor in pool
+        modes; in serial mode (and on the degrade-to-serial fallback when a
+        pool cannot spawn) the initializer runs once in-process, so the
+        pre-warm semantics hold on every execution path.  Must be a
+        module-level callable (and ``initargs`` picklable) for
+        ``mode="process"``.
     """
     if mode not in _MODES:
         raise ValueError(f"unknown sweep mode {mode!r}; expected one of {_MODES}")
@@ -94,8 +105,14 @@ def run_sweep(worker: Callable[[TaskT], ResultT],
     tasks = list(tasks)
     if not tasks:
         return []
-    if mode == "serial" or workers is None or workers <= 1:
+
+    def run_serial() -> List[ResultT]:
+        if initializer is not None:
+            initializer(*initargs)
         return [worker(task) for task in tasks]
+
+    if mode == "serial" or workers is None or workers <= 1:
+        return run_serial()
 
     executor_cls = (concurrent.futures.ProcessPoolExecutor if mode == "process"
                     else concurrent.futures.ThreadPoolExecutor)
@@ -107,12 +124,13 @@ def run_sweep(worker: Callable[[TaskT], ResultT],
     # swallow a *worker* error and silently redo the whole sweep serially.
     pool = None
     try:
-        pool = executor_cls(max_workers=workers)
+        pool = executor_cls(max_workers=workers, initializer=initializer,
+                            initargs=initargs)
         pool.submit(_noop).result()
     except (OSError, BrokenProcessPool):
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
-        return [worker(task) for task in tasks]
+        return run_serial()
     with pool:
         if mode == "process":
             return list(pool.map(worker, tasks, chunksize=chunksize))

@@ -17,12 +17,15 @@ Usage (after ``pip install -e .``)::
 Each sub-command prints the same table/histogram the corresponding benchmark
 regenerates; ``--csv`` switches the tabular experiments to CSV output so the
 results can be piped into other tools.  ``--engine {reference,vectorized}``
-selects the scalar reference models or the bit-exact NumPy batch engine
-(``figure1`` additionally accepts ``--workers`` to fan the sweep across
-processes and ``--chunksize`` to batch tiny stride tasks per dispatch).
-``--replacement {lru,fifo,random,plru}`` selects the replacement policy on
-the trace-level cache experiments; ``replacement-study`` sweeps all four
-policies across conventional, skewed and victim organisations at once.
+selects the scalar reference models or the bit-exact NumPy batch engine.
+``figure1``, ``miss-ratio`` and ``replacement-study`` all accept
+``--workers`` (fan the sweep across processes), ``--chunksize`` (tasks per
+worker dispatch) and ``--profile {auto,always,never}`` (route profilable
+conventional-LRU rows through the one-pass multi-configuration profiler —
+bit-exact in every mode).  ``--replacement {lru,fifo,random,plru}`` selects
+the replacement policy on the trace-level cache experiments;
+``replacement-study`` sweeps all four policies across conventional, skewed
+and victim organisations at once.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ import argparse
 from typing import List, Optional
 
 from ..cache.replacement import REPLACEMENT_POLICIES
-from ..engine import ENGINES
+from ..engine import ENGINES, PROFILE_MODES
 from .column_assoc_study import run_column_assoc_study
 from .critical_path import run_critical_path_study
 from .figure1 import run_figure1
@@ -67,17 +70,30 @@ def build_parser() -> argparse.ArgumentParser:
                                   "experiment (identical across engines, "
                                   "including the deterministic random policy)")
 
+    def add_sweep_options(parser_: argparse.ArgumentParser,
+                          unit: str = "tasks") -> None:
+        parser_.add_argument("--workers", type=int, default=None,
+                             help="fan the sweep across this many processes")
+        parser_.add_argument("--chunksize", type=int, default=None,
+                             help=f"{unit} per worker dispatch (amortises "
+                                  "process-pool overhead on tiny tasks)")
+
+    def add_profile(parser_: argparse.ArgumentParser) -> None:
+        parser_.add_argument("--profile", choices=list(PROFILE_MODES),
+                             default="auto",
+                             help="one-pass multi-configuration LRU profiling "
+                                  "on the vectorized engine: auto (profile "
+                                  "when it wins), always, never — bit-exact "
+                                  "in every mode")
+
     figure1 = sub.add_parser("figure1", help="Figure 1 stride sweep")
     figure1.add_argument("--max-stride", type=int, default=1024)
     figure1.add_argument("--stride-step", type=int, default=4)
     figure1.add_argument("--sweeps", type=int, default=8)
-    figure1.add_argument("--workers", type=int, default=None,
-                         help="fan the sweep across this many processes")
-    figure1.add_argument("--chunksize", type=int, default=None,
-                         help="strides per worker dispatch (amortises "
-                              "process-pool overhead on tiny tasks)")
+    add_sweep_options(figure1, unit="strides")
     add_engine(figure1)
     add_replacement(figure1)
+    add_profile(figure1)
 
     table2 = sub.add_parser("table2", help="Table 2 IPC / miss-ratio sweep")
     table2.add_argument("--instructions", type=int, default=12_000)
@@ -93,8 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
     miss_ratio.add_argument("--accesses", type=int, default=30_000)
     miss_ratio.add_argument("--programs", nargs="*", default=None)
     miss_ratio.add_argument("--csv", action="store_true")
+    add_sweep_options(miss_ratio, unit="programs")
     add_engine(miss_ratio)
     add_replacement(miss_ratio)
+    add_profile(miss_ratio)
 
     replacement = sub.add_parser(
         "replacement-study",
@@ -102,7 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     replacement.add_argument("--accesses", type=int, default=20_000)
     replacement.add_argument("--programs", nargs="*", default=None)
     replacement.add_argument("--csv", action="store_true")
+    add_sweep_options(replacement, unit="programs")
     add_engine(replacement)
+    add_profile(replacement)
 
     holes = sub.add_parser("holes", help="Section 3.3 hole model vs simulation")
     holes.add_argument("--accesses", type=int, default=40_000)
@@ -121,7 +141,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
                              stride_step=args.stride_step,
                              engine=args.engine, workers=args.workers,
                              chunksize=args.chunksize,
-                             replacement=args.replacement)
+                             replacement=args.replacement,
+                             profile=args.profile)
         return result.render()
     if args.experiment == "table2":
         result = run_table2(programs=args.programs or None,
@@ -141,12 +162,18 @@ def _run_experiment(args: argparse.Namespace) -> str:
         result = run_miss_ratio_study(programs=args.programs or None,
                                       accesses=args.accesses,
                                       engine=args.engine,
-                                      replacement=args.replacement)
+                                      replacement=args.replacement,
+                                      workers=args.workers,
+                                      chunksize=args.chunksize,
+                                      profile=args.profile)
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "replacement-study":
         result = run_replacement_study(programs=args.programs or None,
                                        accesses=args.accesses,
-                                       engine=args.engine)
+                                       engine=args.engine,
+                                       workers=args.workers,
+                                       chunksize=args.chunksize,
+                                       profile=args.profile)
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "holes":
         result = run_holes_study(l2_sizes=[kb * 1024 for kb in args.l2_kilobytes],

@@ -37,7 +37,9 @@ from ..engine import (
     ENGINE_VECTORIZED,
     AddressBatch,
     BatchSetAssociativeCache,
+    MultiConfigPlan,
     check_engine,
+    check_profile_mode,
     chunk_tasks,
     run_sweep,
 )
@@ -80,33 +82,42 @@ def stride_miss_ratio(scheme: str, stride: int,
                       elements: int = 64, element_size: int = 8,
                       sweeps: int = 8, address_bits: int = 19,
                       engine: str = ENGINE_REFERENCE,
-                      replacement: Optional[str] = None) -> float:
+                      replacement: Optional[str] = None,
+                      profile: str = "auto") -> float:
     """Miss ratio of one (scheme, stride) pair under the Figure 1 workload.
 
     ``sweeps`` controls how many times the vector is traversed; the first
     sweep's compulsory misses are amortised over the rest, as in the paper's
     "repeated accesses".  ``engine`` picks the scalar reference model or the
     bit-exact batch engine; ``replacement`` the replacement policy (``None``
-    means the paper's LRU).
+    means the paper's LRU).  On the vectorized engine the task is routed
+    through a :class:`~repro.engine.multiconfig.MultiConfigPlan`; ``profile``
+    selects its policy (a single-configuration task only leaves its kernel
+    under ``profile="always"`` — bit-exact either way).
     """
     if stride < 1:
         raise ValueError("stride must be at least 1")
     engine = check_engine(engine)
+    profile = check_profile_mode(profile)
     if engine == ENGINE_VECTORIZED:
         # Cached per (stride, shape): each sweep worker materialises a given
         # stride's trace once even though every scheme revisits it.
         addresses, writes = cached_strided_arrays(
             stride, elements=elements, element_size=element_size, sweeps=sweeps)
         batch = AddressBatch.from_arrays(addresses, writes)
-        index_fn = make_index_function(scheme, num_sets=geometry.num_sets,
-                                       ways=geometry.ways,
-                                       address_bits=address_bits)
-        cache = BatchSetAssociativeCache(
-            size_bytes=geometry.size_bytes, block_size=geometry.block_size,
-            ways=geometry.ways, index_function=index_fn,
-            replacement=replacement)
-        cache.run(batch)
-        return cache.stats.miss_ratio
+
+        def factory() -> BatchSetAssociativeCache:
+            index_fn = make_index_function(scheme, num_sets=geometry.num_sets,
+                                           ways=geometry.ways,
+                                           address_bits=address_bits)
+            return BatchSetAssociativeCache(
+                size_bytes=geometry.size_bytes, block_size=geometry.block_size,
+                ways=geometry.ways, index_function=index_fn,
+                replacement=replacement)
+
+        plan = MultiConfigPlan(profile=profile)
+        plan.add("row", batch, factory)
+        return plan.run()["row"].miss_ratio
     cache = build_cache(geometry, scheme, address_bits=address_bits,
                         replacement=replacement)
     for access in strided_vector(stride, elements=elements,
@@ -117,17 +128,18 @@ def stride_miss_ratio(scheme: str, stride: int,
 
 #: One (scheme, stride) work item of the sweep, with everything a worker
 #: process needs to rebuild the simulation.
-_SweepTask = Tuple[str, int, CacheGeometry, int, int, int, str, Optional[str]]
+_SweepTask = Tuple[str, int, CacheGeometry, int, int, int, str, Optional[str],
+                   str]
 
 
 def _stride_task(task: _SweepTask) -> float:
     """Module-level sweep worker (must be picklable for process pools)."""
     (scheme, stride, geometry, elements, sweeps, address_bits, engine,
-     replacement) = task
+     replacement, profile) = task
     return stride_miss_ratio(scheme, stride, geometry=geometry,
                              elements=elements, sweeps=sweeps,
                              address_bits=address_bits, engine=engine,
-                             replacement=replacement)
+                             replacement=replacement, profile=profile)
 
 
 def _stride_chunk_task(chunk: List[_SweepTask]) -> List[float]:
@@ -150,7 +162,8 @@ def run_figure1(max_stride: int = 4096,
                 workers: Optional[int] = None,
                 chunksize: Optional[int] = None,
                 address_bits: int = 19,
-                replacement: Optional[str] = None) -> Figure1Result:
+                replacement: Optional[str] = None,
+                profile: str = "auto") -> Figure1Result:
     """Run the Figure 1 stride sweep.
 
     Parameters
@@ -176,6 +189,12 @@ def run_figure1(max_stride: int = 4096,
     replacement:
         Replacement policy name for every cache of the sweep (``None`` means
         the paper's LRU).
+    profile:
+        Multi-configuration profiling policy on the vectorized engine
+        (``auto``/``always``/``never`` — see
+        :class:`~repro.engine.multiconfig.MultiConfigPlan`); every stride is
+        its own trace, so only ``"always"`` moves the conventional LRU rows
+        onto the one-pass profiler.
     """
     if max_stride < 2:
         raise ValueError("max_stride must be at least 2")
@@ -184,6 +203,7 @@ def run_figure1(max_stride: int = 4096,
     if chunksize is not None and chunksize < 1:
         raise ValueError("chunksize must be positive")
     engine = check_engine(engine)
+    profile = check_profile_mode(profile)
     schemes = list(schemes) if schemes is not None else list(INDEX_SCHEMES)
 
     strides = range(1, max_stride, stride_step)
@@ -195,7 +215,7 @@ def run_figure1(max_stride: int = 4096,
     for scheme in schemes:
         scheme_tasks: List[_SweepTask] = [
             (scheme, stride, geometry, elements, sweeps, address_bits,
-             engine, replacement)
+             engine, replacement, profile)
             for stride in strides
         ]
         chunks.extend(chunk_tasks(scheme_tasks, chunksize))

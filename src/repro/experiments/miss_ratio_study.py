@@ -29,7 +29,7 @@ column-associative organisation has no replacement freedom).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.metrics import arithmetic_mean
 from ..analysis.reporting import TableBuilder
@@ -44,7 +44,10 @@ from ..engine import (
     BatchColumnAssociativeCache,
     BatchSetAssociativeCache,
     BatchVictimCache,
+    MultiConfigPlan,
     check_engine,
+    check_profile_mode,
+    run_sweep,
 )
 from ..trace.batching import cached_workload_arrays
 from ..trace.workloads import build_trace, workload_names
@@ -202,12 +205,60 @@ def _replay_batch(cache, batch: AddressBatch) -> None:
         access(address, is_write=is_write)
 
 
+def _program_miss_ratios(name: str, accesses: int, seed: int, engine: str,
+                         organisation_map: Mapping[str, Callable],
+                         profile: str = "auto") -> Dict[str, float]:
+    """Load miss ratio (percent) of every organisation for one program."""
+    per_org: Dict[str, float] = {}
+    if engine == ENGINE_VECTORIZED:
+        # Sweep-wide memoisation: the materialised arrays come from the
+        # process-global trace cache with stable identity, so the batch
+        # engine also shares the derived block-number / set-index arrays
+        # across the organisations below (and across study runs).  The plan
+        # additionally routes profilable conventional-LRU rows through one
+        # shared stack-distance profile when that wins (or when forced).
+        batch = AddressBatch.from_arrays(
+            *cached_workload_arrays(name, length=accesses, seed=seed))
+        plan = MultiConfigPlan(profile=profile)
+        for label, factory in organisation_map.items():
+            plan.add(label, batch, factory, runner=_replay_batch)
+        counts = plan.run()
+        for label in organisation_map:
+            per_org[label] = 100.0 * counts[label].load_miss_ratio
+    else:
+        for label, factory in organisation_map.items():
+            cache = factory()
+            for access in build_trace(name, length=accesses, seed=seed):
+                cache.access(access.address, is_write=access.is_write)
+            per_org[label] = 100.0 * cache.stats.load_miss_ratio
+    return per_org
+
+
+#: One per-program work item of the parallel study: everything a worker
+#: process needs to rebuild the default organisations and replay the trace.
+_StudyTask = Tuple[str, int, int, str, Optional[str], str]
+
+
+def _study_program_task(task: _StudyTask) -> Dict[str, float]:
+    """Module-level sweep worker (must be picklable for process pools)."""
+    name, accesses, seed, engine, replacement, profile = task
+    if engine == ENGINE_VECTORIZED:
+        organisation_map = default_batch_organisations(replacement=replacement)
+    else:
+        organisation_map = default_organisations(replacement=replacement)
+    return _program_miss_ratios(name, accesses, seed, engine,
+                                organisation_map, profile=profile)
+
+
 def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
                          accesses: int = 40_000,
                          organisations: Optional[Mapping[str, Callable]] = None,
                          seed: int = 12345,
                          engine: str = ENGINE_REFERENCE,
-                         replacement: Optional[str] = None) -> MissRatioStudyResult:
+                         replacement: Optional[str] = None,
+                         workers: Optional[int] = None,
+                         chunksize: Optional[int] = None,
+                         profile: str = "auto") -> MissRatioStudyResult:
     """Replay the workload suite through every organisation and collect miss ratios.
 
     ``engine="vectorized"`` materialises each program's trace once and runs
@@ -216,37 +267,36 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
     both engines — batch caches expose ``run``, anything else is replayed
     access-at-a-time.  ``replacement`` picks the replacement policy of the
     default organisations (``None`` means the paper's LRU).
+
+    ``workers`` fans the per-program tasks across a process pool
+    (:func:`repro.engine.sweep.run_sweep`; ``chunksize`` groups programs per
+    dispatch so a worker reuses its materialised traces).  A caller-supplied
+    ``organisations`` mapping is not generally picklable, so it always runs
+    serially.  ``profile`` selects the multi-configuration profiling policy
+    of the vectorized path (``auto``/``always``/``never`` — bit-exact in
+    every mode).
     """
     if accesses < 1_000:
         raise ValueError("accesses should be at least 1000 for stable ratios")
     engine = check_engine(engine)
+    profile = check_profile_mode(profile)
     program_list = list(programs) if programs is not None else workload_names()
-    if organisations is not None:
-        organisation_map = dict(organisations)
-    elif engine == ENGINE_VECTORIZED:
-        organisation_map = default_batch_organisations(replacement=replacement)
-    else:
-        organisation_map = default_organisations(replacement=replacement)
 
     result = MissRatioStudyResult(accesses_per_program=accesses)
-    for name in program_list:
-        per_org: Dict[str, float] = {}
-        if engine == ENGINE_VECTORIZED:
-            # Sweep-wide memoisation: the materialised arrays come from the
-            # process-global trace cache with stable identity, so the batch
-            # engine also shares the derived block-number / set-index arrays
-            # across the organisations below (and across study runs).
-            batch = AddressBatch.from_arrays(
-                *cached_workload_arrays(name, length=accesses, seed=seed))
-            for label, factory in organisation_map.items():
-                cache = factory()
-                _replay_batch(cache, batch)
-                per_org[label] = 100.0 * cache.stats.load_miss_ratio
-        else:
-            for label, factory in organisation_map.items():
-                cache = factory()
-                for access in build_trace(name, length=accesses, seed=seed):
-                    cache.access(access.address, is_write=access.is_write)
-                per_org[label] = 100.0 * cache.stats.load_miss_ratio
+    if organisations is not None:
+        organisation_map = dict(organisations)
+        for name in program_list:
+            result.miss_ratios[name] = _program_miss_ratios(
+                name, accesses, seed, engine, organisation_map,
+                profile=profile)
+        return result
+
+    tasks: List[_StudyTask] = [
+        (name, accesses, seed, engine, replacement, profile)
+        for name in program_list
+    ]
+    per_program = run_sweep(_study_program_task, tasks, workers=workers,
+                            chunksize=chunksize)
+    for name, per_org in zip(program_list, per_program):
         result.miss_ratios[name] = per_org
     return result

@@ -30,12 +30,20 @@ and produces bit-identical ratios to the scalar models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import arithmetic_mean
 from ..analysis.reporting import TableBuilder
 from ..cache.replacement import REPLACEMENT_POLICIES
-from ..engine import ENGINE_REFERENCE, ENGINE_VECTORIZED, AddressBatch, check_engine
+from ..engine import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    AddressBatch,
+    MultiConfigPlan,
+    check_engine,
+    check_profile_mode,
+    run_sweep,
+)
 from ..trace.batching import cached_workload_arrays
 from ..trace.workloads import build_trace, workload_names
 from .config import PAPER_L1_8KB, CacheGeometry
@@ -106,23 +114,76 @@ class ReplacementStudyResult:
         return "\n".join(lines)
 
 
+#: One per-program work item of the parallel study (picklable primitives
+#: only; the geometry is rebuilt from its defining numbers).
+_StudyTask = Tuple[str, int, int, str, Tuple[str, ...], Tuple[int, int, int],
+                   str]
+
+
+def _program_policy_ratios(task: _StudyTask) -> Dict[str, Dict[str, float]]:
+    """Module-level sweep worker: one program's organisation x policy grid."""
+    name, accesses, seed, engine, policy_list, geometry_tuple, profile = task
+    geometry = CacheGeometry(size_bytes=geometry_tuple[0],
+                             block_size=geometry_tuple[1],
+                             ways=geometry_tuple[2])
+    factory = (_batch_factory if engine == ENGINE_VECTORIZED
+               else _scalar_factory)
+    ratios: Dict[str, Dict[str, float]] = {
+        label: {} for label, _, _ in _STUDY_ORGANISATIONS}
+    if engine == ENGINE_VECTORIZED:
+        # One materialisation per (program, length, seed) per process —
+        # every (organisation, policy) pair below reuses the cached
+        # arrays, and with them the memoised per-scheme index arrays.  The
+        # plan routes the profilable rows (conventional LRU) through the
+        # one-pass stack-distance profiler when that wins (or when forced).
+        batch = AddressBatch.from_arrays(
+            *cached_workload_arrays(name, length=accesses, seed=seed))
+        plan = MultiConfigPlan(profile=profile)
+        for label, kind, params in _STUDY_ORGANISATIONS:
+            for policy in policy_list:
+                plan.add((label, policy), batch,
+                         factory(kind, params, geometry, policy),
+                         runner=_replay_batch)
+        counts = plan.run()
+        for label, _, _ in _STUDY_ORGANISATIONS:
+            for policy in policy_list:
+                ratios[label][policy] = (
+                    100.0 * counts[(label, policy)].load_miss_ratio)
+    else:
+        for label, kind, params in _STUDY_ORGANISATIONS:
+            for policy in policy_list:
+                cache = factory(kind, params, geometry, policy)()
+                for access in build_trace(name, length=accesses, seed=seed):
+                    cache.access(access.address, is_write=access.is_write)
+                ratios[label][policy] = 100.0 * cache.stats.load_miss_ratio
+    return ratios
+
+
 def run_replacement_study(programs: Optional[Sequence[str]] = None,
                           accesses: int = 40_000,
                           policies: Optional[Sequence[str]] = None,
                           geometry: CacheGeometry = PAPER_L1_8KB,
                           seed: int = 12345,
                           engine: str = ENGINE_REFERENCE,
+                          workers: Optional[int] = None,
+                          chunksize: Optional[int] = None,
+                          profile: str = "auto",
                           ) -> ReplacementStudyResult:
     """Sweep replacement policy x organisation over the workload suite.
 
     Replays every program's trace through each (organisation, policy) pair
     and reports suite-average load miss ratios.  ``engine="vectorized"``
     materialises each trace once and drives the batch kernels; both engines
-    produce identical numbers.
+    produce identical numbers.  ``workers`` fans the per-program tasks
+    across a process pool (``chunksize`` groups programs per dispatch so a
+    worker reuses its materialised traces); ``profile`` selects the
+    multi-configuration profiling policy of the vectorized LRU rows
+    (``auto``/``always``/``never`` — bit-exact in every mode).
     """
     if accesses < 1_000:
         raise ValueError("accesses should be at least 1000 for stable ratios")
     engine = check_engine(engine)
+    profile = check_profile_mode(profile)
     policy_list = list(policies) if policies is not None else list(REPLACEMENT_POLICIES)
     for policy in policy_list:
         if policy not in REPLACEMENT_POLICIES:
@@ -130,38 +191,26 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
                 f"unknown replacement policy {policy!r}; expected one of "
                 f"{sorted(REPLACEMENT_POLICIES)}")
     program_list = list(programs) if programs is not None else workload_names()
-    factory = (_batch_factory if engine == ENGINE_VECTORIZED
-               else _scalar_factory)
 
     result = ReplacementStudyResult(accesses_per_program=accesses,
                                     programs=program_list,
                                     policies=policy_list)
+    tasks: List[_StudyTask] = [
+        (name, accesses, seed, engine, tuple(policy_list),
+         (geometry.size_bytes, geometry.block_size, geometry.ways), profile)
+        for name in program_list
+    ]
+    per_program = run_sweep(_program_policy_ratios, tasks, workers=workers,
+                            chunksize=chunksize)
     # Accumulate per-program ratios, then average per (organisation, policy).
     per_pair: Dict[str, Dict[str, List[float]]] = {
         label: {policy: [] for policy in policy_list}
         for label, _, _ in _STUDY_ORGANISATIONS
     }
-    for name in program_list:
-        if engine == ENGINE_VECTORIZED:
-            # One materialisation per (program, length, seed) per process —
-            # every (organisation, policy) pair below reuses the cached
-            # arrays, and with them the memoised per-scheme index arrays.
-            batch = AddressBatch.from_arrays(
-                *cached_workload_arrays(name, length=accesses, seed=seed))
-            for label, kind, params in _STUDY_ORGANISATIONS:
-                for policy in policy_list:
-                    cache = factory(kind, params, geometry, policy)()
-                    _replay_batch(cache, batch)
-                    per_pair[label][policy].append(
-                        100.0 * cache.stats.load_miss_ratio)
-        else:
-            for label, kind, params in _STUDY_ORGANISATIONS:
-                for policy in policy_list:
-                    cache = factory(kind, params, geometry, policy)()
-                    for access in build_trace(name, length=accesses, seed=seed):
-                        cache.access(access.address, is_write=access.is_write)
-                    per_pair[label][policy].append(
-                        100.0 * cache.stats.load_miss_ratio)
+    for ratios in per_program:
+        for label, _, _ in _STUDY_ORGANISATIONS:
+            for policy in policy_list:
+                per_pair[label][policy].append(ratios[label][policy])
     for label, _, _ in _STUDY_ORGANISATIONS:
         result.miss_ratios[label] = {
             policy: arithmetic_mean(per_pair[label][policy])

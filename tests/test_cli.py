@@ -27,6 +27,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["miss-ratio", "--replacement", "mru"])
 
+    @pytest.mark.parametrize("command", ["figure1", "miss-ratio",
+                                         "replacement-study"])
+    def test_sweep_options_parity(self, command):
+        """--workers/--chunksize/--profile exist on every sweeping command."""
+        args = build_parser().parse_args(
+            [command, "--workers", "3", "--chunksize", "2",
+             "--profile", "always"])
+        assert args.workers == 3
+        assert args.chunksize == 2
+        assert args.profile == "always"
+
+    def test_profile_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["miss-ratio", "--profile", "sometimes"])
+
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -78,3 +93,16 @@ class TestExecution:
                      "--csv"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("organisation,")
+
+    def test_miss_ratio_with_workers_and_profile(self, capsys):
+        assert main(["miss-ratio", "--accesses", "4000", "--programs", "gcc",
+                     "--engine", "vectorized", "--workers", "2",
+                     "--chunksize", "1", "--profile", "always"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional-2way" in out
+
+    def test_replacement_study_with_workers(self, capsys):
+        assert main(["replacement-study", "--accesses", "3000",
+                     "--programs", "gcc", "--engine", "vectorized",
+                     "--workers", "2", "--profile", "always"]) == 0
+        assert "replacement sensitivity" in capsys.readouterr().out

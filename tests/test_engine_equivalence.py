@@ -856,3 +856,64 @@ def test_deep_strided_sweep(scheme):
         vec_hits = batch.run(batch_of(trace))
         assert np.array_equal(ref_hits, vec_hits), stride
         assert stats_snapshot(scalar.stats) == stats_snapshot(batch.stats), stride
+
+
+# --------------------------------------------------------------------- #
+# one-pass multi-configuration profiler: three-path equality
+# --------------------------------------------------------------------- #
+
+from repro.engine import MultiConfigLRUProfile, ProfileCounts  # noqa: E402
+
+#: The (num_sets, ways) grid the profile-equality tests price out of one
+#: pass per set count — fully-associative (one set) included.
+PROFILE_GRID = [(num_sets, ways) for num_sets in (1, 16, 64, 128)
+                for ways in (1, 2, 3, 4, 8)]
+
+
+def counts_snapshot(stats):
+    """The profile-comparable subset of a CacheStats."""
+    return ProfileCounts.from_stats(stats)
+
+
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+@pytest.mark.parametrize("write_policy", [
+    WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+    WritePolicy.WRITE_BACK_ALLOCATE,
+])
+class TestProfileThreePathEquality:
+    """Profile == batch kernel == scalar model, for every grid point.
+
+    One :class:`MultiConfigLRUProfile` pass per set count must price every
+    conventional-LRU configuration of the grid with exactly the counters
+    the per-config batch kernels and the scalar models produce — under
+    both write policies (the traces include stores, so this pins the
+    priority-stack store handling as well as the uniform update).
+    """
+
+    def test_profile_matches_both_engines(self, trace_name, write_policy):
+        trace = list(TRACES[trace_name]())
+        batch = batch_of(trace)
+        level_caps = {}
+        for num_sets, ways in PROFILE_GRID:
+            level_caps[num_sets] = max(level_caps.get(num_sets, 0), ways)
+        profile = MultiConfigLRUProfile(batch, 32, level_caps,
+                                        write_policy=write_policy)
+        for num_sets, ways in PROFILE_GRID:
+            expected = profile.miss_counts(num_sets, ways)
+
+            kernel = BatchSetAssociativeCache(
+                num_sets * ways * 32, 32, ways, write_policy=write_policy)
+            kernel.run(batch)
+            assert counts_snapshot(kernel.stats) == expected, (
+                trace_name, write_policy, num_sets, ways)
+
+            scalar = SetAssociativeCache(
+                num_sets * ways * 32, 32, ways, write_policy=write_policy)
+            for access in trace:
+                scalar.access(access.address, is_write=access.is_write)
+            assert counts_snapshot(scalar.stats) == expected, (
+                trace_name, write_policy, num_sets, ways)
+            # The study-facing ratios are the same IEEE doubles, not merely
+            # close: identical integer counters divide identically.
+            assert expected.miss_ratio == scalar.stats.miss_ratio
+            assert expected.load_miss_ratio == scalar.stats.load_miss_ratio

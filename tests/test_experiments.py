@@ -74,6 +74,25 @@ class TestFigure1:
             run_figure1(max_stride=16, chunksize=0)
 
 
+class TestFigure1Profile:
+    def test_profile_modes_are_bit_exact(self):
+        """Routing the a2 rows through the one-pass profiler (or refusing
+        to) must not change a single ratio."""
+        base = run_figure1(max_stride=33, stride_step=4, sweeps=4,
+                           engine="vectorized")
+        for profile in ("always", "never"):
+            other = run_figure1(max_stride=33, stride_step=4, sweeps=4,
+                                engine="vectorized", profile=profile)
+            assert other.miss_ratios == base.miss_ratios
+
+    def test_profile_mode_is_validated(self):
+        with pytest.raises(ValueError):
+            run_figure1(max_stride=16, profile="sometimes")
+        with pytest.raises(ValueError):
+            stride_miss_ratio("a2", 3, engine="vectorized",
+                              profile="sometimes")
+
+
 class TestSweepChunking:
     def test_chunk_tasks_groups_and_preserves_order(self):
         tasks = list(range(10))
@@ -121,6 +140,60 @@ class TestSweepChunking:
         assert chunked.summary() == serial.summary()
 
 
+class TestSweepInitializer:
+    def test_serial_path_runs_initializer_once(self):
+        calls = []
+        results = run_sweep(lambda x: x + 1, [1, 2, 3],
+                            initializer=lambda tag: calls.append(tag),
+                            initargs=("warm",))
+        assert results == [2, 3, 4]
+        assert calls == ["warm"]
+
+    def test_thread_pool_runs_initializer_per_worker(self):
+        import threading
+
+        seen = set()
+        lock = threading.Lock()
+
+        def init():
+            with lock:
+                seen.add(threading.get_ident())
+
+        results = run_sweep(lambda x: x * 2, list(range(8)), workers=2,
+                            mode="thread", initializer=init)
+        assert results == [x * 2 for x in range(8)]
+        assert 1 <= len(seen) <= 2
+
+    def test_serial_fallback_when_pool_cannot_spawn(self, monkeypatch):
+        """Regression: the degrade-to-serial path must still run the
+        initializer in-process and produce every result."""
+        import concurrent.futures
+
+        class BrokenExecutor:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process spawning in this sandbox")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            BrokenExecutor)
+        calls = []
+        results = run_sweep(lambda x: x * x, [2, 3], workers=4,
+                            mode="process",
+                            initializer=lambda: calls.append("init"))
+        assert results == [4, 9]
+        assert calls == ["init"]
+
+    def test_serial_fallback_without_initializer(self, monkeypatch):
+        import concurrent.futures
+
+        class BrokenExecutor:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process spawning in this sandbox")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            BrokenExecutor)
+        assert run_sweep(lambda x: -x, [1, 2], workers=3) == [-1, -2]
+
+
 class TestMissRatioStudy:
     def test_ordering_matches_section_2_1(self):
         result = run_miss_ratio_study(
@@ -158,6 +231,25 @@ class TestMissRatioStudy:
                                    engine="vectorized", replacement="fifo")
         assert ref.miss_ratios == vec.miss_ratios
 
+    def test_workers_and_chunksize_change_nothing(self):
+        serial = run_miss_ratio_study(programs=["gcc", "swim"], accesses=4_000,
+                                      engine="vectorized")
+        fanned = run_miss_ratio_study(programs=["gcc", "swim"], accesses=4_000,
+                                      engine="vectorized", workers=2,
+                                      chunksize=1)
+        assert fanned.miss_ratios == serial.miss_ratios
+
+    def test_profile_modes_are_bit_exact(self):
+        base = run_miss_ratio_study(programs=["gcc"], accesses=4_000,
+                                    engine="vectorized")
+        for profile in ("always", "never"):
+            other = run_miss_ratio_study(programs=["gcc"], accesses=4_000,
+                                         engine="vectorized", profile=profile)
+            assert other.miss_ratios == base.miss_ratios
+        with pytest.raises(ValueError):
+            run_miss_ratio_study(programs=["gcc"], accesses=4_000,
+                                 profile="sometimes")
+
 
 class TestReplacementStudy:
     def test_engines_agree_exactly(self):
@@ -194,6 +286,20 @@ class TestReplacementStudy:
             run_replacement_study(accesses=10)
         with pytest.raises(ValueError):
             run_replacement_study(policies=["mru"], accesses=3_000)
+        with pytest.raises(ValueError):
+            run_replacement_study(accesses=3_000, profile="sometimes")
+
+    def test_workers_and_profile_change_nothing(self):
+        serial = run_replacement_study(programs=["gcc", "swim"],
+                                       accesses=3_000, engine="vectorized")
+        fanned = run_replacement_study(programs=["gcc", "swim"],
+                                       accesses=3_000, engine="vectorized",
+                                       workers=2, chunksize=1)
+        assert fanned.miss_ratios == serial.miss_ratios
+        profiled = run_replacement_study(programs=["gcc", "swim"],
+                                         accesses=3_000, engine="vectorized",
+                                         profile="always")
+        assert profiled.miss_ratios == serial.miss_ratios
 
 
 class TestHolesStudy:

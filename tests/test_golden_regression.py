@@ -131,3 +131,36 @@ def test_goldens_are_committed():
         "conventional-2way", "skewed-ipoly-2way", "victim-direct+8"}
     for row in study["miss_ratios"].values():
         assert sorted(row) == ["fifo", "lru", "plru", "random"]
+    grid = load_golden("lru_grid_profile.json")
+    expected_levels = {str(num_sets) for num_sets in grid["params"]["num_sets"]}
+    assert set(grid["miss_ratios"]) == expected_levels
+    assert set(grid["load_miss_ratios"]) == expected_levels
+
+
+@pytest.mark.parametrize("profile", ["always", "never"])
+def test_lru_grid_profile_matches_golden(profile):
+    """Profiler-driven miss-ratio grid (capacities x ways): both the
+    one-pass profile readout and the per-config batch kernels must
+    reproduce the committed snapshot exactly."""
+    from repro.engine import AddressBatch, run_lru_grid
+    from repro.trace.batching import cached_workload_arrays
+
+    golden = load_golden("lru_grid_profile.json")
+    params = golden["params"]
+    batch = AddressBatch.from_arrays(*cached_workload_arrays(
+        params["program"], length=params["accesses"], seed=params["seed"]))
+    grid = [(num_sets, ways) for num_sets in params["num_sets"]
+            for ways in params["ways"]]
+    results = run_lru_grid(batch, params["block_size"], grid, profile=profile)
+    miss_ratios = {
+        str(num_sets): {str(ways): results[(num_sets, ways)].miss_ratio
+                        for ways in params["ways"]}
+        for num_sets in params["num_sets"]
+    }
+    load_miss_ratios = {
+        str(num_sets): {str(ways): results[(num_sets, ways)].load_miss_ratio
+                        for ways in params["ways"]}
+        for num_sets in params["num_sets"]
+    }
+    assert miss_ratios == golden["miss_ratios"]
+    assert load_miss_ratios == golden["load_miss_ratios"]
