@@ -69,10 +69,22 @@ class LoadTiming:
 
 
 class DataCacheModel:
-    """Functional + timing model of the lockup-free L1 data cache."""
+    """Functional + timing model of the lockup-free L1 data cache.
+
+    With ``record_stream=True`` the model additionally records the
+    ``(address, is_store)`` sequence of every *functional* cache access, in
+    the exact order the underlying cache sees them — loads at issue (merged
+    secondary misses included; forwarded loads never reach the cache and are
+    therefore absent) and stores at commit.  Replaying that stream through a
+    fresh cache of the same configuration reproduces the functional
+    statistics exactly, which is what lets the fuzz harness
+    (:mod:`repro.cpu.fuzzer`) cross-check the processor's cache behaviour
+    against the batch kernels via :func:`repro.engine.replay.replay_access_stream`.
+    """
 
     def __init__(self, cache: SetAssociativeCache,
-                 timing: Optional[DataCacheTiming] = None) -> None:
+                 timing: Optional[DataCacheTiming] = None,
+                 record_stream: bool = False) -> None:
         self._cache = cache
         self._timing = timing or DataCacheTiming()
         self._ports = ThroughputLimiter(self._timing.ports, name="cache-ports")
@@ -84,6 +96,9 @@ class DataCacheModel:
         self.store_accesses = 0
         self.merged_misses = 0
         self.mshr_stall_cycles = 0
+        self._record_stream = record_stream
+        self.recorded_addresses: List[int] = []
+        self.recorded_is_store: List[bool] = []
 
     @property
     def cache(self) -> SetAssociativeCache:
@@ -99,6 +114,25 @@ class DataCacheModel:
     def load_miss_ratio(self) -> float:
         """Load miss ratio of the underlying cache."""
         return self._cache.stats.load_miss_ratio
+
+    @property
+    def records_stream(self) -> bool:
+        """True when the model records its functional access stream."""
+        return self._record_stream
+
+    def recorded_stream(self):
+        """The recorded ``(addresses, is_store)`` lists (copies).
+
+        Raises :class:`RuntimeError` unless the model was built with
+        ``record_stream=True`` — an empty stream from a model that never
+        recorded anything is indistinguishable from a genuinely empty one,
+        and silently replaying it would make the differential check vacuous.
+        """
+        if not self._record_stream:
+            raise RuntimeError(
+                "access-stream recording is off; build the DataCacheModel "
+                "with record_stream=True")
+        return list(self.recorded_addresses), list(self.recorded_is_store)
 
     # ------------------------------------------------------------------ #
 
@@ -135,6 +169,9 @@ class DataCacheModel:
         inflight_ready = self._inflight.get(block)
         result = self._cache.access_block(block, is_write=False)
         self.load_accesses += 1
+        if self._record_stream:
+            self.recorded_addresses.append(address)
+            self.recorded_is_store.append(False)
 
         if inflight_ready is not None and inflight_ready > start:
             # The line is still being fetched: this is a secondary (merged)
@@ -174,6 +211,9 @@ class DataCacheModel:
         """
         result = self._cache.access(address, is_write=True)
         self.store_accesses += 1
+        if self._record_stream:
+            self.recorded_addresses.append(address)
+            self.recorded_is_store.append(True)
         return result.hit
 
     def reset_timing_state(self) -> None:

@@ -102,6 +102,38 @@ class ProcessorConfig:
                 f"unknown index_engine {self.index_engine!r}; "
                 "expected 'reference' or 'vectorized'"
             )
+        # Cache geometry: surface impossible configurations at construction
+        # instead of deep inside build_cache() mid-experiment (the same
+        # uniform validation the cache classes themselves apply).
+        if self.cache_block_size < 1 or self.cache_block_size & (self.cache_block_size - 1):
+            raise ValueError("cache_block_size must be a positive power of two")
+        if self.cache_ways < 1:
+            raise ValueError("cache_ways must be at least 1")
+        if self.cache_size_bytes < self.cache_block_size * self.cache_ways:
+            raise ValueError("cache must hold at least one set")
+        if self.cache_size_bytes % (self.cache_block_size * self.cache_ways):
+            raise ValueError(
+                "cache_size_bytes must be a multiple of cache_block_size * "
+                f"cache_ways ({self.cache_block_size * self.cache_ways}), "
+                f"got {self.cache_size_bytes}"
+            )
+        num_sets = self.cache_size_bytes // (self.cache_block_size * self.cache_ways)
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"number of sets must be a power of two, got {num_sets}")
+        # Predictor tables are direct-mapped on power-of-two masks; their
+        # classes validate too, but only when the predictor is built —
+        # with address_prediction=False a bad entry count would otherwise
+        # lurk until someone flips prediction on.
+        for label, entries in (("branch_predictor_entries",
+                                self.branch_predictor_entries),
+                               ("address_predictor_entries",
+                                self.address_predictor_entries)):
+            if entries < 1 or entries & (entries - 1):
+                raise ValueError(f"{label} must be a positive power of two")
+        # Cache timing: DataCacheTiming applies its own uniform validation;
+        # constructing it here surfaces degenerate port/MSHR/latency values
+        # at config construction time.
+        self.cache_timing()
 
     def cache_timing(self) -> DataCacheTiming:
         """The :class:`DataCacheTiming` implied by this configuration."""
@@ -196,7 +228,16 @@ class OutOfOrderProcessor:
 
     def run(self, program: Program,
             max_instructions: Optional[int] = None) -> SimulationResult:
-        """Simulate ``program`` and return aggregate statistics."""
+        """Simulate ``program`` and return aggregate statistics.
+
+        The simulation is fully deterministic: the model draws no randomness
+        of its own (every stochastic choice lives in the program generator),
+        so running the same program on a freshly built processor always
+        produces identical results — the property the differential fuzz
+        harness (:mod:`repro.cpu.fuzzer`) depends on and audits.
+        """
+        if max_instructions is not None and max_instructions < 0:
+            raise ValueError("max_instructions must be non-negative")
         cfg = self.config
         reg_ready: Dict[int, int] = {}
         prev_commit = 0

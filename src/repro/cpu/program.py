@@ -37,6 +37,8 @@ class Program:
                  length_hint: Optional[int] = None) -> None:
         if not name:
             raise ValueError("programs must be named")
+        if length_hint is not None and length_hint < 0:
+            raise ValueError("length_hint must be non-negative")
         self._name = name
         self._factory = factory
         self._length_hint = length_hint

@@ -12,8 +12,12 @@ set-associative, skewed and column-associative caches over address batches
 differential suite in ``tests/test_engine_equivalence.py``.
 
 :mod:`repro.engine.tabulated` accelerates the scalar I-Poly function itself
-for the sequential processor simulator, and :mod:`repro.engine.sweep` fans
-experiment sweeps across ``concurrent.futures`` workers.
+for the sequential processor simulator, :mod:`repro.engine.replay` replays
+the recorded data-cache access stream of a processor simulation through the
+batch kernels (bit-exact against the scalar L1 — the CPU leg of the
+equivalence story, exercised by the :mod:`repro.cpu.fuzzer` harness), and
+:mod:`repro.engine.sweep` fans experiment sweeps across
+``concurrent.futures`` workers.
 :mod:`repro.engine.multiconfig` prices whole conventional-LRU
 capacity/associativity sweeps out of single stack-distance /
 all-associativity trace passes (``MultiConfigPlan`` partitions a sweep's
@@ -54,6 +58,7 @@ from .replacement_vec import (
     make_vec_replacement,
     splitmix64_array,
 )
+from .replay import ReplayOutcome, batch_cache_like, replay_access_stream
 from .set_decompose import group_by_set, run_decomposed_policy
 from .skew_decompose import run_skew_decomposed_policy, run_victim_decomposed
 from .sweep import chunk_tasks, run_sweep
@@ -90,6 +95,9 @@ __all__ = [
     "run_lru_grid",
     "profile_cache_info",
     "profile_cache_clear",
+    "ReplayOutcome",
+    "batch_cache_like",
+    "replay_access_stream",
     "GF2RemainderTable",
     "VectorizedIndex",
     "vectorize_index",

@@ -1,0 +1,93 @@
+"""Replay recorded access streams through the batch kernels.
+
+The out-of-order processor drives its L1 data cache one access at a time —
+the pipeline is inherently sequential, so the CPU path can never consume an
+:class:`~repro.engine.batch.AddressBatch` directly.  What it *can* do is
+record the functional access stream its :class:`~repro.cpu.dcache.DataCacheModel`
+produced (``record_stream=True``) and replay it here: the stream becomes an
+:class:`AddressBatch`, the scalar cache's exact configuration is mirrored
+into a :class:`~repro.engine.batch_cache.BatchSetAssociativeCache`, and the
+batch kernel selected by ``dispatch_strategy`` must reproduce the scalar
+cache's hit/miss statistics bit-exactly.
+
+This wires the CPU path into the engine-equivalence story: every fuzzed
+program (:mod:`repro.cpu.fuzzer`) exercises a batch kernel against the
+scalar model on a *processor-shaped* access stream — issue-order loads with
+merged secondary misses, commit-order write-through stores interleaved —
+rather than the synthetic traces the trace-level studies use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..cache.set_assoc import SetAssociativeCache
+from ..cache.stats import CacheStats
+from .batch import AddressBatch
+from .batch_cache import BatchSetAssociativeCache
+
+__all__ = ["ReplayOutcome", "batch_cache_like", "replay_access_stream"]
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Result of replaying one recorded stream through a batch kernel."""
+
+    #: Statistics accumulated by the batch cache over the replay.
+    stats: CacheStats
+    #: Kernel name reported by ``dispatch_strategy`` for the replayed batch.
+    strategy: str
+    #: Number of accesses replayed.
+    accesses: int
+    #: Per-access hit mask returned by the kernel.
+    hits: np.ndarray
+
+    def matches(self, stats: CacheStats) -> bool:
+        """True when the batch statistics equal ``stats`` exactly."""
+        return self.stats == stats
+
+
+def batch_cache_like(cache: SetAssociativeCache) -> BatchSetAssociativeCache:
+    """Build a cold batch cache mirroring a scalar cache's configuration.
+
+    Geometry, placement function, write policy and replacement policy are
+    carried over verbatim (the index function object is shared — batch
+    caches only read it; a configured random policy's draw seed is
+    preserved), so replaying the scalar cache's access stream from cold must
+    reproduce its statistics exactly.
+    """
+    return BatchSetAssociativeCache(
+        size_bytes=cache.size_bytes,
+        block_size=cache.block_size,
+        ways=cache.ways,
+        index_function=cache.index_function,
+        replacement=cache.replacement,
+        write_policy=cache.write_policy,
+        name=f"{cache.name}-replay",
+    )
+
+
+def replay_access_stream(
+    addresses: Union[np.ndarray, Sequence[int]],
+    is_write: Union[np.ndarray, Sequence[bool]],
+    cache: SetAssociativeCache,
+) -> ReplayOutcome:
+    """Replay a recorded ``(address, is_store)`` stream through the batch engine.
+
+    ``cache`` is the scalar cache whose configuration the batch kernel must
+    mirror — typically the L1 of a finished processor simulation, in which
+    case ``ReplayOutcome.matches(cache.stats)`` asserts the batch kernel and
+    the scalar model agree bit-exactly on the whole stream.
+
+    The replayed batch cache starts cold, so the stream must be the
+    *complete* access history of ``cache`` since its own cold start.
+    """
+    batch = AddressBatch.from_arrays(addresses, is_write)
+    mirror = batch_cache_like(cache)
+    strategy = mirror.dispatch_strategy(batch)
+    hits = mirror.run(batch)
+    return ReplayOutcome(stats=mirror.stats, strategy=strategy,
+                         accesses=len(batch), hits=hits)

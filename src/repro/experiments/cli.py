@@ -18,11 +18,12 @@ Each sub-command prints the same table/histogram the corresponding benchmark
 regenerates; ``--csv`` switches the tabular experiments to CSV output so the
 results can be piped into other tools.  ``--engine {reference,vectorized}``
 selects the scalar reference models or the bit-exact NumPy batch engine.
-``figure1``, ``miss-ratio`` and ``replacement-study`` all accept
-``--workers`` (fan the sweep across processes), ``--chunksize`` (tasks per
-worker dispatch) and ``--profile {auto,always,never}`` (route profilable
-conventional-LRU rows through the one-pass multi-configuration profiler —
-bit-exact in every mode).  ``--replacement {lru,fifo,random,plru}`` selects
+``figure1``, ``miss-ratio``, ``replacement-study``, ``table2`` and
+``table3`` all accept ``--workers`` (fan the sweep across processes) and
+``--chunksize`` (tasks per worker dispatch); the first three additionally
+take ``--profile {auto,always,never}`` (route profilable conventional-LRU
+rows through the one-pass multi-configuration profiler — bit-exact in every
+mode).  ``--replacement {lru,fifo,random,plru}`` selects
 the replacement policy on the trace-level cache experiments;
 ``replacement-study`` sweeps all four policies across conventional, skewed
 and victim organisations at once.
@@ -99,10 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--instructions", type=int, default=12_000)
     table2.add_argument("--programs", nargs="*", default=None)
     table2.add_argument("--csv", action="store_true")
+    add_sweep_options(table2, unit="programs")
     add_engine(table2)
 
     table3 = sub.add_parser("table3", help="Table 3 high-conflict breakdown")
     table3.add_argument("--instructions", type=int, default=12_000)
+    add_sweep_options(table3, unit="programs")
     add_engine(table3)
 
     miss_ratio = sub.add_parser("miss-ratio", help="Section 2.1 organisation comparison")
@@ -147,7 +150,9 @@ def _run_experiment(args: argparse.Namespace) -> str:
     if args.experiment == "table2":
         result = run_table2(programs=args.programs or None,
                             instructions=args.instructions,
-                            engine=args.engine)
+                            engine=args.engine,
+                            workers=args.workers,
+                            chunksize=args.chunksize)
         if args.csv:
             return (result.ipc_table().render_csv()
                     + "\n" + result.miss_ratio_table().render_csv())
@@ -157,7 +162,9 @@ def _run_experiment(args: argparse.Namespace) -> str:
                   f"ipoly={stds['8K-ipoly-noCP']:.2f}")
     if args.experiment == "table3":
         return run_table3(instructions=args.instructions,
-                          engine=args.engine).render()
+                          engine=args.engine,
+                          workers=args.workers,
+                          chunksize=args.chunksize).render()
     if args.experiment == "miss-ratio":
         result = run_miss_ratio_study(programs=args.programs or None,
                                       accesses=args.accesses,

@@ -28,10 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from typing import Tuple
+
 from ..analysis.metrics import arithmetic_mean, geometric_mean, std_deviation
 from ..analysis.reporting import TableBuilder
 from ..cpu.processor import OutOfOrderProcessor, ProcessorConfig, SimulationResult
 from ..cpu.workloads import build_program, program_names
+from ..engine.sweep import run_sweep
 from ..trace.workloads import FP_PROGRAMS, INTEGER_PROGRAMS
 from .config import TABLE2_CONFIGS
 
@@ -113,11 +116,31 @@ class Table2Result:
                 + self.miss_ratio_table().render(title="Table 2 (load miss ratio %)"))
 
 
+#: One per-program work item of the parallel Table 2 sweep: everything a
+#: worker process needs to rebuild the program and run every configuration.
+_Table2Task = Tuple[str, int, int, str, Tuple[Tuple[str, tuple], ...]]
+
+
+def _table2_program_task(task: _Table2Task) -> Dict[str, SimulationResult]:
+    """Module-level sweep worker (must be picklable for process pools)."""
+    name, instructions, seed, engine, config_items = task
+    per_config: Dict[str, SimulationResult] = {}
+    for label, override_items in config_items:
+        merged = dict(override_items)
+        merged.setdefault("index_engine", engine)
+        processor = OutOfOrderProcessor(ProcessorConfig(**merged))
+        program = build_program(name, length=instructions, seed=seed)
+        per_config[label] = processor.run(program)
+    return per_config
+
+
 def run_table2(programs: Optional[Sequence[str]] = None,
                instructions: int = 30_000,
                configurations: Optional[Mapping[str, dict]] = None,
                seed: int = 2027,
-               engine: str = "reference") -> Table2Result:
+               engine: str = "reference",
+               workers: Optional[int] = None,
+               chunksize: Optional[int] = None) -> Table2Result:
     """Simulate every (program, configuration) pair of Table 2.
 
     ``instructions`` scales the per-program run length; the paper simulates
@@ -130,6 +153,13 @@ def run_table2(programs: Optional[Sequence[str]] = None,
     function for the engine's table-accelerated, bit-exact equivalent
     (:class:`~repro.engine.tabulated.TabulatedIPolyIndexing`), producing
     identical IPCs and miss ratios faster.
+
+    ``workers`` fans the per-program tasks (each simulating all six machine
+    configurations for one program) across a process pool via
+    :func:`repro.engine.sweep.run_sweep` — programs are independent
+    simulations, so the results are identical to the serial run in any
+    ``workers``/``chunksize`` combination.  ``chunksize`` groups programs
+    per worker dispatch.
     """
     if instructions < 1_000:
         raise ValueError("instructions should be at least 1000 for stable results")
@@ -137,16 +167,19 @@ def run_table2(programs: Optional[Sequence[str]] = None,
     engine = check_engine(engine)
     program_list = list(programs) if programs is not None else program_names()
     config_map = dict(configurations) if configurations is not None else dict(TABLE2_CONFIGS)
+    # Freeze the configuration overrides into tuples so the per-program
+    # tasks are hashable, compact and unambiguously picklable.
+    config_items = tuple((label, tuple(overrides.items()))
+                         for label, overrides in config_map.items())
 
+    tasks: List[_Table2Task] = [
+        (name, instructions, seed, engine, config_items)
+        for name in program_list
+    ]
+    per_program = run_sweep(_table2_program_task, tasks, workers=workers,
+                            chunksize=chunksize)
     result = Table2Result(instructions_per_program=instructions)
-    for name in program_list:
-        per_config: Dict[str, SimulationResult] = {}
-        for label, overrides in config_map.items():
-            merged = dict(overrides)
-            merged.setdefault("index_engine", engine)
-            processor = OutOfOrderProcessor(ProcessorConfig(**merged))
-            program = build_program(name, length=instructions, seed=seed)
-            per_config[label] = processor.run(program)
+    for name, per_config in zip(program_list, per_program):
         result.results[name] = per_config
     return result
 

@@ -120,15 +120,20 @@ class Table3Result:
 def run_table3(instructions: int = 30_000,
                table2_result: Optional[Table2Result] = None,
                seed: int = 2027,
-               engine: str = "reference") -> Table3Result:
+               engine: str = "reference",
+               workers: Optional[int] = None,
+               chunksize: Optional[int] = None) -> Table3Result:
     """Run (or reuse) the underlying simulations and build the Table 3 view.
 
     When ``table2_result`` is provided it must contain at least the three
     high-conflict programs; otherwise the full 18-program Table 2 experiment
     is run first.  ``engine`` is forwarded to :func:`run_table2` (the
-    vectorized engine accelerates the I-Poly index computation bit-exactly).
+    vectorized engine accelerates the I-Poly index computation bit-exactly),
+    as are ``workers`` and ``chunksize`` (per-program process-pool fan-out
+    of the underlying sweep — results identical to the serial run).
     """
     if table2_result is None:
         table2_result = run_table2(instructions=instructions, seed=seed,
-                                   engine=engine)
+                                   engine=engine, workers=workers,
+                                   chunksize=chunksize)
     return Table3Result(table2=table2_result)

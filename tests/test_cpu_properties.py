@@ -1,0 +1,139 @@
+"""Hypothesis properties for the CPU predictors.
+
+Both predictors are tiny state machines (2-bit saturating counters with
+specific update rules from the paper), so each is checked against an
+independent pure-Python mirror model over random outcome sequences — with
+table sizes small enough that different pcs alias the same entry, exactly
+the tagless behaviour the paper describes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.address_predictor import StrideAddressPredictor
+from repro.cpu.branch_predictor import BimodalBranchPredictor
+
+# --------------------------------------------------------------------------- #
+# bimodal branch predictor
+# --------------------------------------------------------------------------- #
+
+branch_sequences = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=255).map(lambda n: n * 4),
+              st.booleans()),
+    max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries_log2=st.integers(min_value=0, max_value=4),
+       initial=st.integers(min_value=0, max_value=3),
+       sequence=branch_sequences)
+def test_bimodal_matches_mirror_model(entries_log2, initial, sequence):
+    entries = 1 << entries_log2
+    predictor = BimodalBranchPredictor(entries=entries, initial_counter=initial)
+    counters = [initial] * entries
+    mispredictions = 0
+    for pc, taken in sequence:
+        index = (pc >> 2) % entries
+        expected_prediction = counters[index] >= 2
+        assert predictor.predict(pc) == expected_prediction
+        correct = predictor.update(pc, taken)
+        assert correct == (expected_prediction == taken)
+        if not correct:
+            mispredictions += 1
+        if taken:
+            counters[index] = min(3, counters[index] + 1)
+        else:
+            counters[index] = max(0, counters[index] - 1)
+    assert predictor.predictions == len(sequence)
+    assert predictor.mispredictions == mispredictions
+
+
+@settings(max_examples=40, deadline=None)
+@given(pc=st.integers(min_value=0, max_value=10_000).map(lambda n: n * 4),
+       run=st.integers(min_value=2, max_value=10))
+def test_bimodal_saturates_and_hysteresis(pc, run):
+    """After >=2 taken outcomes the counter saturates towards taken, and a
+    single not-taken outcome must not flip the prediction (hysteresis)."""
+    predictor = BimodalBranchPredictor(entries=64)
+    for _ in range(run):
+        predictor.update(pc, True)
+    assert predictor.predict(pc) is True
+    predictor.update(pc, False)
+    assert predictor.predict(pc) is True      # one deviation: still taken
+    predictor.update(pc, False)
+    assert predictor.predict(pc) is False     # two deviations: flipped
+
+
+# --------------------------------------------------------------------------- #
+# stride address predictor
+# --------------------------------------------------------------------------- #
+
+address_sequences = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=63).map(lambda n: n * 4),
+              st.integers(min_value=0, max_value=1 << 20)),
+    max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries_log2=st.integers(min_value=0, max_value=3),
+       threshold=st.integers(min_value=1, max_value=3),
+       sequence=address_sequences)
+def test_stride_predictor_matches_mirror_model(entries_log2, threshold, sequence):
+    entries = 1 << entries_log2
+    predictor = StrideAddressPredictor(entries=entries,
+                                       confidence_threshold=threshold)
+    table = [{"last": 0, "stride": 0, "counter": 0} for _ in range(entries)]
+    confident = correct_confident = 0
+    for pc, address in sequence:
+        entry = table[(pc >> 2) % entries]
+
+        prediction = predictor.predict(pc)
+        expect_confident = entry["counter"] >= threshold
+        assert prediction.confident == expect_confident
+        assert prediction.usable == expect_confident
+        if expect_confident:
+            confident += 1
+            assert prediction.predicted_address == entry["last"] + entry["stride"]
+        else:
+            assert prediction.predicted_address is None
+
+        hit = predictor.update(pc, address)
+        was_correct = entry["last"] + entry["stride"] == address
+        assert hit == (expect_confident and was_correct)
+        if hit:
+            correct_confident += 1
+        if was_correct:
+            entry["counter"] = min(3, entry["counter"] + 1)
+        else:
+            entry["counter"] = max(0, entry["counter"] - 1)
+        if entry["counter"] < 2:              # paper: stride frozen at >= "10"
+            entry["stride"] = address - entry["last"]
+        entry["last"] = address
+
+    assert predictor.lookups == len(sequence)
+    assert predictor.confident_predictions == confident
+    assert predictor.correct_predictions == correct_confident
+
+
+@settings(max_examples=40, deadline=None)
+@given(base=st.integers(min_value=0, max_value=1 << 16),
+       stride=st.integers(min_value=1, max_value=512),
+       warmup=st.integers(min_value=5, max_value=12))
+def test_saturated_stride_survives_one_irregular_access(base, stride, warmup):
+    """From a *saturated* counter a single irregular access must not destroy
+    the stride: the counter drops 3 -> 2, still confident, and the stride
+    field is only rewritten while the counter is below 2.  (Five warmup
+    updates are enough to saturate even when the very first update is
+    coincidentally correct and perturbs the trajectory.)"""
+    predictor = StrideAddressPredictor(entries=16)
+    pc = 0x400
+    address = base
+    for _ in range(warmup):
+        predictor.update(pc, address)
+        address += stride
+    assert predictor.predict(pc).usable
+    predictor.update(pc, address + 7_777_777)          # one wild access
+    prediction = predictor.predict(pc)
+    assert prediction.usable                           # 3 -> 2: still confident
+    resumed = address + 7_777_777 + stride
+    assert prediction.predicted_address == resumed     # stride preserved

@@ -102,6 +102,34 @@ class TestStores:
         assert model.load_miss_ratio == pytest.approx(0.5)
 
 
+class TestStreamRecording:
+    def test_recording_captures_accesses_in_order(self):
+        cache = SetAssociativeCache(8 * 1024, 32, 2)
+        model = DataCacheModel(cache, DataCacheTiming(), record_stream=True)
+        assert model.records_stream
+        model.load(0x100, request_cycle=0)
+        model.store(0x200, commit_cycle=5)
+        model.load(0x300, request_cycle=10)
+        addresses, is_store = model.recorded_stream()
+        assert addresses == [0x100, 0x200, 0x300]
+        assert is_store == [False, True, False]
+
+    def test_recorded_stream_returns_copies(self):
+        cache = SetAssociativeCache(8 * 1024, 32, 2)
+        model = DataCacheModel(cache, DataCacheTiming(), record_stream=True)
+        model.load(0x100, request_cycle=0)
+        addresses, _ = model.recorded_stream()
+        addresses.append(0xBAD)
+        assert model.recorded_stream()[0] == [0x100]
+
+    def test_recording_off_by_default(self):
+        model = make_model()
+        assert not model.records_stream
+        model.load(0x100, request_cycle=0)
+        with pytest.raises(RuntimeError):
+            model.recorded_stream()
+
+
 class TestReset:
     def test_reset_timing_state_keeps_contents(self):
         model = make_model()

@@ -381,6 +381,14 @@ class TestTable2:
         with pytest.raises(ValueError):
             run_table2(instructions=10)
 
+    def test_workers_and_chunksize_change_nothing(self, small_table2):
+        fanned = run_table2(programs=["swim", "tomcatv", "wave5", "gcc", "fpppp"],
+                            instructions=6_000, workers=2, chunksize=2)
+        for program in small_table2.programs:
+            for config in small_table2.configurations:
+                assert (fanned.results[program][config]
+                        == small_table2.results[program][config])
+
 
 class TestTable3:
     def test_improvement_summary_shape(self, small_table2):
@@ -394,3 +402,8 @@ class TestTable3:
         assert summary["bad_ipoly_cp_pred_vs_16k_conv"] > 0.0
         assert summary["good_ipoly_cp_vs_8k_conv"] > -10.0
         assert "Average-bad" in table3.render()
+
+    def test_workers_forwarded_to_table2(self):
+        serial = run_table3(instructions=1_500)
+        fanned = run_table3(instructions=1_500, workers=2)
+        assert fanned.table2.results == serial.table2.results

@@ -19,6 +19,8 @@ from repro.engine import ENGINES
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.miss_ratio_study import run_miss_ratio_study
 from repro.experiments.replacement_study import run_replacement_study
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -109,6 +111,49 @@ def test_replacement_study_matches_golden(engine):
     assert result.miss_ratios == golden["miss_ratios"]
 
 
+def _table2_snapshot(result):
+    """The goldens' view of a Table 2 run: IPC and miss ratio per cell."""
+    return (
+        {p: {c: result.ipc(p, c) for c in result.configurations}
+         for p in result.programs},
+        {p: {c: result.miss_ratio_percent(p, c) for c in result.configurations}
+         for p in result.programs},
+    )
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_table2_matches_golden(engine):
+    """Table 2 IPCs and load miss ratios through the full OoO CPU path:
+    both index engines must reproduce the committed snapshot exactly."""
+    golden = load_golden("table2.json")
+    params = golden["params"]
+    result = run_table2(programs=params["programs"],
+                        instructions=params["instructions"],
+                        seed=params["seed"],
+                        engine=engine)
+    ipc, miss = _table2_snapshot(result)
+    assert ipc == golden["ipc"]
+    assert miss == golden["load_miss_ratio_percent"]
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_table3_matches_golden(engine):
+    """Table 3 view (high-conflict vs low-conflict groups) over the same
+    committed per-cell numbers."""
+    golden = load_golden("table3.json")
+    params = golden["params"]
+    table2 = run_table2(programs=params["programs"],
+                        instructions=params["instructions"],
+                        seed=params["seed"],
+                        engine=engine)
+    result = run_table3(table2_result=table2)
+    assert result.bad_programs == golden["bad_programs"]
+    assert result.good_programs == golden["good_programs"]
+    ipc, miss = _table2_snapshot(table2)
+    assert ipc == golden["ipc"]
+    assert miss == golden["load_miss_ratio_percent"]
+
+
 def test_goldens_are_committed():
     """The fixtures exist and cover the four Figure 1 schemes."""
     fig = load_golden("figure1_miss_ratios.json")
@@ -131,6 +176,15 @@ def test_goldens_are_committed():
         "conventional-2way", "skewed-ipoly-2way", "victim-direct+8"}
     for row in study["miss_ratios"].values():
         assert sorted(row) == ["fifo", "lru", "plru", "random"]
+    table2 = load_golden("table2.json")
+    assert set(table2["ipc"]) == set(table2["params"]["programs"])
+    for row in table2["ipc"].values():
+        assert sorted(row) == sorted(["16K-conv", "8K-conv", "8K-conv-pred",
+                                      "8K-ipoly-noCP", "8K-ipoly-CP",
+                                      "8K-ipoly-CP-pred"])
+    table3 = load_golden("table3.json")
+    assert set(table3["bad_programs"]) == {"tomcatv", "swim", "wave5"}
+    assert set(table3["ipc"]) == set(table3["params"]["programs"])
     grid = load_golden("lru_grid_profile.json")
     expected_levels = {str(num_sets) for num_sets in grid["params"]["num_sets"]}
     assert set(grid["miss_ratios"]) == expected_levels

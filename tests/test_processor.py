@@ -64,6 +64,34 @@ class TestConfig:
         with pytest.raises(ValueError):
             ProcessorConfig(int_physical_registers=16)
 
+    @pytest.mark.parametrize("overrides", [
+        dict(cache_block_size=0),
+        dict(cache_block_size=24),              # not a power of two
+        dict(cache_ways=0),
+        dict(cache_size_bytes=48),              # smaller than block * ways
+        dict(cache_size_bytes=8 * 1024 + 32),   # not divisible by block * ways
+        dict(cache_size_bytes=6 * 1024),        # num_sets not a power of two
+        dict(branch_predictor_entries=0),
+        dict(branch_predictor_entries=1000),    # not a power of two
+        dict(address_predictor_entries=0),
+        dict(address_predictor_entries=3),
+        dict(cache_hit_time=0),                 # surfaced from DataCacheTiming
+        dict(mshr_entries=0),
+    ])
+    def test_geometry_and_timing_validation(self, overrides):
+        with pytest.raises(ValueError):
+            ProcessorConfig(**overrides)
+
+    def test_negative_max_instructions_rejected(self):
+        processor = OutOfOrderProcessor(ProcessorConfig())
+        program = Program.from_list("tiny", [alu(pc=0, dest=4)])
+        with pytest.raises(ValueError):
+            processor.run(program, max_instructions=-1)
+
+    def test_negative_length_hint_rejected(self):
+        with pytest.raises(ValueError):
+            Program("bad", lambda: [], length_hint=-1)
+
 
 class TestBasicPipeline:
     def test_independent_instructions_reach_high_ipc(self):
@@ -118,6 +146,28 @@ class TestMemoryBehaviour:
                                             dest=5, srcs=(), address=0x1000))
         result = run_program(instructions)
         assert result.forwarded_loads > 0
+
+    def test_forwarded_loads_never_reach_the_recorded_stream(self):
+        """A recording dcache sees stores at commit but not forwarded loads —
+        the invariant the fuzz harness's batch replay rests on."""
+        from repro.cpu.dcache import DataCacheModel
+
+        instructions = []
+        for i in range(20):
+            instructions.append(Instruction(pc=8 * i, op=OpClass.STORE,
+                                            srcs=(1,), address=0x1000))
+            instructions.append(Instruction(pc=8 * i + 4, op=OpClass.LOAD,
+                                            dest=5, srcs=(), address=0x1000))
+        config = ProcessorConfig()
+        dcache = DataCacheModel(config.build_cache(), config.cache_timing(),
+                                record_stream=True)
+        processor = OutOfOrderProcessor(config, cache_model=dcache)
+        result = processor.run(Program.from_list("forwarding", instructions))
+        addresses, is_store = dcache.recorded_stream()
+        assert len(addresses) == len(is_store)
+        recorded_loads = is_store.count(False)
+        assert recorded_loads == result.loads - result.forwarded_loads
+        assert is_store.count(True) == result.stores
 
     def test_xor_in_critical_path_slows_loads(self):
         loads = [Instruction(pc=8 * i, op=OpClass.LOAD, dest=4 + (i % 20),
