@@ -58,6 +58,11 @@ class TwoLevelHierarchy:
 
     def __init__(self, l1: SetAssociativeCache, l2: SetAssociativeCache,
                  enforce_inclusion: bool = True) -> None:
+        if l1.block_size > l2.block_size:
+            raise ValueError(
+                "L1 block size must not exceed the L2 block size "
+                f"({l1.block_size} vs {l2.block_size})"
+            )
         if l2.block_size % l1.block_size:
             raise ValueError(
                 "L2 block size must be a multiple of the L1 block size "

@@ -59,6 +59,12 @@ class VirtualRealHierarchy:
     translate:
         Callable mapping a virtual byte address to a physical byte address
         (typically :meth:`repro.memory.translation.AddressTranslator.translate`).
+    page_size:
+        Optional page size (bytes) of the translation behind ``translate``.
+        When given, it is validated against the cache geometry — the same
+        rules the batch twin derives from its page table — and exposed as
+        :attr:`page_size`; translation itself still goes through
+        ``translate``.
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class VirtualRealHierarchy:
         l1: SetAssociativeCache,
         l2: SetAssociativeCache,
         translate: Callable[[int], int],
+        page_size: Optional[int] = None,
     ) -> None:
         if l1.block_size != l2.block_size:
             raise ValueError(
@@ -74,9 +81,19 @@ class VirtualRealHierarchy:
             )
         if l2.size_bytes < l1.size_bytes:
             raise ValueError("L2 must be at least as large as L1")
+        if page_size is not None:
+            if page_size < 1 or page_size & (page_size - 1):
+                raise ValueError(
+                    f"page_size must be a power of two, got {page_size}")
+            if page_size < l1.block_size or page_size % l1.block_size:
+                raise ValueError(
+                    "page_size must be a multiple of the cache block size "
+                    f"({page_size} vs {l1.block_size})"
+                )
         self.l1 = l1
         self.l2 = l2
         self._translate = translate
+        self._page_size = page_size
         # Forward/reverse maps between the virtual line resident in L1 and
         # its physical line; this is the "pointer" state the Wang protocol
         # keeps so physically-addressed events can find the L1 copy without
@@ -90,6 +107,11 @@ class VirtualRealHierarchy:
         self.external_invalidations = 0
 
     # ------------------------------------------------------------------ #
+
+    @property
+    def page_size(self) -> Optional[int]:
+        """Declared page size of the translation, when one was given."""
+        return self._page_size
 
     def access(self, virtual_address: int, is_write: bool = False) -> VirtualRealAccessResult:
         """Perform one access using a virtual address."""

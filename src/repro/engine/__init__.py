@@ -34,6 +34,14 @@ from .batch_cache import (
     BatchSetAssociativeCache,
     BatchVictimCache,
 )
+from .hierarchy_vec import (
+    BatchTwoLevelHierarchy,
+    BatchVirtualRealHierarchy,
+    HierarchyBatchResult,
+    MissStream,
+    batch_hierarchy_like,
+    batch_virtual_real_like,
+)
 from .index_vec import GF2RemainderTable, VectorizedIndex, vectorize_index
 from .memo import (
     cached_block_numbers,
@@ -63,6 +71,13 @@ from .set_decompose import group_by_set, run_decomposed_policy
 from .skew_decompose import run_skew_decomposed_policy, run_victim_decomposed
 from .sweep import chunk_tasks, run_sweep
 from .tabulated import TabulatedIPolyIndexing, tabulate_index_function
+from .translate_vec import (
+    BatchTranslationResult,
+    BatchTranslator,
+    batch_page_frames,
+    batch_translate,
+    run_tlb_kernel,
+)
 
 __all__ = [
     "ENGINES",
@@ -74,6 +89,17 @@ __all__ = [
     "BatchSetAssociativeCache",
     "BatchColumnAssociativeCache",
     "BatchVictimCache",
+    "BatchTwoLevelHierarchy",
+    "BatchVirtualRealHierarchy",
+    "HierarchyBatchResult",
+    "MissStream",
+    "batch_hierarchy_like",
+    "batch_virtual_real_like",
+    "BatchTranslator",
+    "BatchTranslationResult",
+    "batch_page_frames",
+    "batch_translate",
+    "run_tlb_kernel",
     "VecReplacementState",
     "make_vec_replacement",
     "splitmix64_array",

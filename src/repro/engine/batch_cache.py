@@ -266,6 +266,119 @@ class BatchSetAssociativeCache:
         self.stats.reset()
 
     # ------------------------------------------------------------------ #
+    # scalar-shaped point operations (used by the multi-level engine)
+    # ------------------------------------------------------------------ #
+
+    def block_number_of(self, address: int) -> int:
+        """Map a byte address to its block number (mirrors the scalar cache)."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        return address // self._block_size
+
+    def _candidate_sets(self, block_number: int) -> List[int]:
+        """Per-way set indices of one block via the scalar index function."""
+        if not self._skewed:
+            return [self._index_fn.index(block_number, 0)] * self._ways
+        return [self._index_fn.index(block_number, way)
+                for way in range(self._ways)]
+
+    def contains_block(self, block_number: int) -> bool:
+        """Return True if ``block_number`` is resident."""
+        if not self._use_flat:
+            return block_number in self._sets[self._index_fn.index(block_number, 0)]
+        for way, set_index in enumerate(self._candidate_sets(block_number)):
+            if self._way_tags[way][set_index] == block_number:
+                return True
+        return False
+
+    def invalidate_block(self, block_number: int) -> bool:
+        """Remove ``block_number`` if resident; returns True if it was found.
+
+        Mirrors :meth:`SetAssociativeCache.invalidate_block` bit-exactly:
+        the invalidations counter bumps only when the block was resident, and
+        replacement state is untouched (the scalar ``on_invalidate`` hook is
+        a universal no-op) — a later fill prefers the invalid frame in way
+        order, exactly like the scalar ``_fill``.
+        """
+        if not self._use_flat:
+            d = self._sets[self._index_fn.index(block_number, 0)]
+            if block_number in d:
+                del d[block_number]
+                self.stats.invalidations += 1
+                return True
+            return False
+        for way, set_index in enumerate(self._candidate_sets(block_number)):
+            if self._way_tags[way][set_index] == block_number:
+                self._way_tags[way][set_index] = -1
+                self._way_dirty[way][set_index] = False
+                self.stats.invalidations += 1
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (statistics are preserved; reset them separately).
+
+        Mirrors the scalar :meth:`SetAssociativeCache.flush`: every frame is
+        invalidated and the replacement state forgets everything, but the
+        access clock keeps running.
+        """
+        if self._use_flat:
+            for tags in self._way_tags:
+                tags[:] = [-1] * self._num_sets
+            for used in self._way_used:
+                used[:] = [0] * self._num_sets
+            for dirty in self._way_dirty:
+                dirty[:] = [False] * self._num_sets
+            if self._vec_policy is not None:
+                self._vec_policy.reset()
+        else:
+            for d in self._sets:
+                d.clear()
+        if self._classifier is not None:
+            self._classifier.reset()
+
+    def _snapshot_state(self):
+        """Deep copy of simulation state + statistics for epoch rewind."""
+        stats = self.stats
+        counters = (stats.loads, stats.stores, stats.load_misses,
+                    stats.store_misses, stats.evictions, stats.writebacks,
+                    stats.invalidations, stats.holes_created,
+                    dict(stats.miss_kinds))
+        policy_snap = (self._vec_policy.state_snapshot()
+                       if self._vec_policy is not None else None)
+        if self._use_flat:
+            state = ([list(row) for row in self._way_tags],
+                     [list(row) for row in self._way_used],
+                     [list(row) for row in self._way_dirty])
+        else:
+            state = [d.copy() for d in self._sets]
+        return self._clock, state, counters, policy_snap
+
+    def _restore_state(self, snapshot) -> None:
+        """Restore a :meth:`_snapshot_state` copy (state, stats, policy, clock)."""
+        clock, state, counters, policy_snap = snapshot
+        self._clock = clock
+        stats = self.stats
+        (stats.loads, stats.stores, stats.load_misses, stats.store_misses,
+         stats.evictions, stats.writebacks, stats.invalidations,
+         stats.holes_created, kinds) = counters
+        stats.miss_kinds = dict(kinds)
+        if self._vec_policy is not None:
+            self._vec_policy.state_restore(policy_snap)
+        if self._use_flat:
+            tags, used, dirty = state
+            for dst, src in zip(self._way_tags, tags):
+                dst[:] = list(src)
+            for dst, src in zip(self._way_used, used):
+                dst[:] = list(src)
+            for dst, src in zip(self._way_dirty, dirty):
+                dst[:] = list(src)
+        else:
+            for dst, src in zip(self._sets, state):
+                dst.clear()
+                dst.update(src)
+
+    # ------------------------------------------------------------------ #
     # simulation
     # ------------------------------------------------------------------ #
 

@@ -139,6 +139,23 @@ class VecReplacementState:
         """Write the list views back into the NumPy tables."""
         self._in_kernel = False
 
+    # -- durable-state snapshots (used by the epoch rewind of the ---------- #
+    # -- multi-level engine in :mod:`repro.engine.hierarchy_vec`) ---------- #
+
+    def _snapshot_guard(self) -> None:
+        if self._in_kernel:
+            raise RuntimeError("policy state can only be snapshotted or "
+                               "restored outside a kernel checkout")
+
+    def state_snapshot(self):
+        """Copy of the durable decision state (valid outside a kernel)."""
+        self._snapshot_guard()
+        return None
+
+    def state_restore(self, snapshot) -> None:
+        """Restore a :meth:`state_snapshot` copy (valid outside a kernel)."""
+        self._snapshot_guard()
+
     # -- per-access hooks (valid between kernel_begin and kernel_end) ---- #
 
     def on_hit(self, way: int, set_index: int, now: int) -> None:
@@ -181,6 +198,14 @@ class _VecTimestamp(VecReplacementState):
             raise RuntimeError("stamp_lists is only valid between "
                                "kernel_begin() and kernel_end()")
         return self._stamp_l
+
+    def state_snapshot(self):
+        self._snapshot_guard()
+        return self.stamps.copy()
+
+    def state_restore(self, snapshot) -> None:
+        self._snapshot_guard()
+        self.stamps = snapshot.copy()
 
     def victim(self, candidate_sets):
         return min_stamp_way(self._stamp_l, candidate_sets)
@@ -230,6 +255,14 @@ class VecRandom(VecReplacementState):
     def seed(self) -> int:
         """The draw-sequence seed."""
         return self._seed
+
+    def state_snapshot(self):
+        self._snapshot_guard()
+        return self.counter
+
+    def state_restore(self, snapshot) -> None:
+        self._snapshot_guard()
+        self.counter = snapshot
 
     def victim(self, candidate_sets):
         pick = splitmix64(self._seed + self.counter) % len(candidate_sets)
@@ -286,6 +319,16 @@ class VecTreePLRU(VecReplacementState):
             raise RuntimeError("stamp_lists is only valid between "
                                "kernel_begin() and kernel_end()")
         return self._stamp_l
+
+    def state_snapshot(self):
+        self._snapshot_guard()
+        return self.bits.copy(), self.stamps.copy()
+
+    def state_restore(self, snapshot) -> None:
+        self._snapshot_guard()
+        bits, stamps = snapshot
+        self.bits = bits.copy()
+        self.stamps = stamps.copy()
 
     def _touch(self, way: int, set_index: int, now: int) -> None:
         self._stamp_l[way][set_index] = now

@@ -1,0 +1,185 @@
+"""Vectorized virtual->real translation: batch page-table walks and TLB runs.
+
+The scalar translation front-end (:mod:`repro.memory.paging` /
+:mod:`repro.memory.translation`) answers one virtual address at a time.  The
+batch engine needs the same answers for a whole :class:`AddressBatch` before
+its index pipeline runs, so this module provides array counterparts that
+drive the *same* scalar objects and stay bit-exact with per-access use:
+
+* :func:`batch_page_frames` resolves the frame of every access in one pass.
+  Unmapped pages are faulted through :meth:`PageTable.frame_of` in
+  first-touch trace order — the exact order a per-access loop would fault
+  them — so the resulting mapping, the allocator state and the
+  ``page_faults`` counter are identical to the scalar walk sequence (the
+  scatter allocator rejection-samples against the set of frames in use *at
+  allocation time*, which only the first-touch order reproduces).
+* :func:`run_tlb_kernel` replays a batch of translations against a scalar
+  :class:`~repro.memory.paging.TLB` with runs of equal pages collapsed:
+  within a run of accesses to one page, every access after the first is a
+  guaranteed hit that only re-touches the MRU entry, so one real
+  lookup/insert plus a counter bump reproduces the per-access ``hits`` /
+  ``misses`` counters and the exact LRU order of ``TLB._table``.
+* :class:`BatchTranslator` mirrors
+  :class:`~repro.memory.translation.AddressTranslator` — physical
+  addresses, per-access TLB-hit mask and latency array — for whole batches.
+
+The batch paths assume the TLB's contents were produced by the same page
+table (always true unless internals are hand-doctored): a TLB hit then
+yields the same frame the page table would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..memory.paging import TLB, PageTable
+from .batch import AddressBatch
+
+__all__ = [
+    "batch_page_frames",
+    "batch_translate",
+    "run_tlb_kernel",
+    "BatchTranslationResult",
+    "BatchTranslator",
+]
+
+
+def _address_array(addresses: Union[AddressBatch, np.ndarray]) -> np.ndarray:
+    if isinstance(addresses, AddressBatch):
+        addresses = addresses.addresses
+    return np.asarray(addresses).astype(np.int64)
+
+
+def batch_page_frames(page_table: PageTable,
+                      addresses: Union[AddressBatch, np.ndarray],
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Resolve ``(vpns, frames)`` (int64 arrays) for every access.
+
+    Pages not yet mapped are demand-allocated through the scalar
+    :meth:`PageTable.frame_of` in first-touch trace order, so page-table
+    state and ``page_faults`` end up identical to translating each address
+    in sequence.
+    """
+    addr = _address_array(addresses)
+    page = int(page_table.page_size)
+    vpns = addr // page
+    if vpns.size == 0:
+        return vpns, vpns.copy()
+    uniq, first_idx = np.unique(vpns, return_index=True)
+    mapping = page_table._mapping
+    for i in np.argsort(first_idx, kind="stable"):
+        page_table.frame_of(int(uniq[i]))
+    frame_lut = np.fromiter((mapping[int(v)] for v in uniq),
+                            dtype=np.int64, count=len(uniq))
+    frames = frame_lut[np.searchsorted(uniq, vpns)]
+    return vpns, frames
+
+
+def batch_translate(page_table: PageTable,
+                    addresses: Union[AddressBatch, np.ndarray]) -> np.ndarray:
+    """Physical address of every access (int64), faulting in trace order.
+
+    Array counterpart of calling :meth:`PageTable.translate` per access.
+    """
+    addr = _address_array(addresses)
+    page = int(page_table.page_size)
+    vpns, frames = batch_page_frames(page_table, addr)
+    return frames * page + (addr - vpns * page)
+
+
+def run_tlb_kernel(tlb: TLB, vpns: np.ndarray,
+                   frames: np.ndarray) -> np.ndarray:
+    """Replay a page-number stream against a scalar TLB; returns the hit mask.
+
+    ``frames[i]`` must be the page-table frame of ``vpns[i]`` (see
+    :func:`batch_page_frames`); it is what a miss inserts, exactly as the
+    scalar :meth:`AddressTranslator.lookup` does after its walk.  Counters
+    (``hits``/``misses``) and the recency order of ``TLB._table`` match the
+    per-access sequence bit-exactly.
+    """
+    n = len(vpns)
+    hit = np.ones(n, dtype=bool)
+    if n == 0:
+        return hit
+    starts = np.flatnonzero(np.r_[True, vpns[1:] != vpns[:-1]])
+    ends = np.r_[starts[1:], n]
+    table = tlb._table
+    entries = tlb.entries
+    hits = tlb.hits
+    misses = tlb.misses
+    for vpn, frame, s, e in zip(vpns[starts].tolist(), frames[starts].tolist(),
+                                starts.tolist(), ends.tolist()):
+        if vpn in table:
+            table.move_to_end(vpn)
+            hits += 1
+        else:
+            misses += 1
+            hit[s] = False
+            table[vpn] = frame
+            if len(table) > entries:
+                table.popitem(last=False)
+        # The rest of the run re-touches the (already MRU) entry: pure hits.
+        hits += e - s - 1
+    tlb.hits = hits
+    tlb.misses = misses
+    return hit
+
+
+@dataclass(frozen=True)
+class BatchTranslationResult:
+    """Whole-batch counterpart of :class:`~repro.memory.translation.TranslationResult`."""
+
+    physical: np.ndarray  #: physical address per access (int64)
+    tlb_hit: np.ndarray   #: per-access TLB hit mask (all False without a TLB)
+    latency: np.ndarray   #: per-access translation latency in cycles (int64)
+
+
+class BatchTranslator:
+    """Batch mirror of :class:`~repro.memory.translation.AddressTranslator`.
+
+    Same construction rules and the same observable effects: after
+    :meth:`lookup_batch`, the page table (mapping + ``page_faults``) and the
+    TLB (contents, order, ``hits``/``misses``) are in the exact state a
+    scalar translator fed one access at a time would leave them in.
+    """
+
+    def __init__(self, page_table: PageTable, tlb: Optional[TLB] = None,
+                 tlb_latency: int = 1, walk_latency: int = 20) -> None:
+        if tlb is not None and tlb._page_size != page_table.page_size:
+            raise ValueError("TLB and page table must agree on page size")
+        if tlb_latency < 0 or walk_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self._page_table = page_table
+        self._tlb = tlb
+        self._tlb_latency = tlb_latency
+        self._walk_latency = walk_latency
+
+    @property
+    def page_size(self) -> int:
+        """Page size in bytes."""
+        return self._page_table.page_size
+
+    def lookup_batch(self, addresses: Union[AddressBatch, np.ndarray],
+                     ) -> BatchTranslationResult:
+        """Translate a whole batch, updating page-table and TLB state."""
+        addr = _address_array(addresses)
+        page = int(self._page_table.page_size)
+        vpns, frames = batch_page_frames(self._page_table, addr)
+        physical = frames * page + (addr - vpns * page)
+        if self._tlb is None:
+            tlb_hit = np.zeros(len(addr), dtype=bool)
+        else:
+            tlb_hit = run_tlb_kernel(self._tlb, vpns, frames)
+        latency = np.where(tlb_hit, self._tlb_latency,
+                           self._tlb_latency + self._walk_latency
+                           ).astype(np.int64)
+        return BatchTranslationResult(physical=physical, tlb_hit=tlb_hit,
+                                      latency=latency)
+
+    def translate_batch(self, addresses: Union[AddressBatch, np.ndarray],
+                        ) -> np.ndarray:
+        """Physical addresses only (state updates identical to :meth:`lookup_batch`)."""
+        return self.lookup_batch(addresses).physical

@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.experiments.cli miss-ratio --replacement plru
     python -m repro.experiments.cli replacement-study --engine vectorized
     python -m repro.experiments.cli holes --accesses 40000
+    python -m repro.experiments.cli holes --engine vectorized --seed 7
     python -m repro.experiments.cli column-assoc --accesses 30000
     python -m repro.experiments.cli critical-path
 
@@ -130,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     holes = sub.add_parser("holes", help="Section 3.3 hole model vs simulation")
     holes.add_argument("--accesses", type=int, default=40_000)
     holes.add_argument("--l2-kilobytes", nargs="*", type=int, default=[256, 1024])
+    holes.add_argument("--seed", type=int, default=999,
+                       help="seed shared by the trace models and the "
+                            "scatter-allocating page table")
+    add_engine(holes)
 
     column = sub.add_parser("column-assoc", help="Section 3.1 column-associative study")
     column.add_argument("--accesses", type=int, default=30_000)
@@ -184,7 +189,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "holes":
         result = run_holes_study(l2_sizes=[kb * 1024 for kb in args.l2_kilobytes],
-                                 accesses=args.accesses)
+                                 accesses=args.accesses, seed=args.seed,
+                                 engine=args.engine)
         return result.render()
     if args.experiment == "column-assoc":
         return run_column_assoc_study(accesses=args.accesses).render()

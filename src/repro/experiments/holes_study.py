@@ -27,6 +27,13 @@ from typing import Dict, List, Optional, Sequence
 from ..analysis.reporting import TableBuilder
 from ..cache.set_assoc import WritePolicy
 from ..cache.virtual_real import VirtualRealHierarchy
+from ..engine import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    batch_virtual_real_like,
+    materialise_batch,
+    check_engine,
+)
 from ..memory.paging import PageTable
 from ..models.holes import HoleModel
 from ..trace.workloads import build_trace, workload_names
@@ -80,14 +87,22 @@ def run_holes_study(l2_sizes: Sequence[int] = (256 * 1024, 1024 * 1024),
                     accesses: int = 30_000,
                     l1_geometry: CacheGeometry = CacheGeometry(8 * 1024),
                     page_size: int = 4096,
-                    seed: int = 999) -> HoleStudyResult:
+                    seed: int = 999,
+                    engine: str = ENGINE_REFERENCE) -> HoleStudyResult:
     """Measure hole rates over a sweep of L2 sizes.
 
     The L1 is a skewed I-Poly cache indexed by virtual addresses; the L2 is a
     conventional two-way cache indexed by physical addresses obtained from a
     scatter-allocating page table, so the two indices are uncorrelated as the
     analytical model assumes.
+
+    ``engine="vectorized"`` runs each program through
+    :class:`~repro.engine.hierarchy_vec.BatchVirtualRealHierarchy` —
+    batched translation, miss-stream composition and all — instead of the
+    per-access scalar protocol; both engines produce identical counters, so
+    the reported hole rates are the same numbers, just faster.
     """
+    engine = check_engine(engine)
     program_list = list(programs) if programs is not None else workload_names()
     result = HoleStudyResult(l1_geometry=l1_geometry,
                              accesses_per_program=accesses)
@@ -109,9 +124,17 @@ def run_holes_study(l2_sizes: Sequence[int] = (256 * 1024, 1024 * 1024),
                                            block_size=l1_geometry.block_size,
                                            ways=2),
                              "a2", write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
-            hierarchy = VirtualRealHierarchy(l1, l2, translate=page_table.translate)
-            for access in build_trace(name, length=accesses, seed=seed):
-                hierarchy.access(access.address, is_write=access.is_write)
+            hierarchy = VirtualRealHierarchy(l1, l2,
+                                             translate=page_table.translate,
+                                             page_size=page_size)
+            if engine == ENGINE_VECTORIZED:
+                batch_vr = batch_virtual_real_like(hierarchy, page_table)
+                batch_vr.run(materialise_batch(
+                    build_trace(name, length=accesses, seed=seed)))
+                hierarchy = batch_vr
+            else:
+                for access in build_trace(name, length=accesses, seed=seed):
+                    hierarchy.access(access.address, is_write=access.is_write)
             per_program[name] = hierarchy.hole_rate_per_l2_miss
             total_holes += hierarchy.l2_misses_causing_holes
             total_l2_misses += hierarchy.l2.stats.misses

@@ -46,6 +46,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_holes_options(self):
+        args = build_parser().parse_args(
+            ["holes", "--accesses", "5000", "--l2-kilobytes", "64", "256",
+             "--engine", "vectorized", "--seed", "7"])
+        assert args.accesses == 5000
+        assert args.l2_kilobytes == [64, 256]
+        assert args.engine == "vectorized"
+        assert args.seed == 7
+
+    def test_holes_engine_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["holes", "--engine", "turbo"])
+
 
 class TestExecution:
     def test_critical_path_runs(self, capsys):
@@ -106,3 +119,57 @@ class TestExecution:
                      "--programs", "gcc", "--engine", "vectorized",
                      "--workers", "2", "--profile", "always"]) == 0
         assert "replacement sensitivity" in capsys.readouterr().out
+
+
+    def test_holes_runs_on_both_engines(self, capsys):
+        outputs = []
+        for engine in ("reference", "vectorized"):
+            assert main(["holes", "--accesses", "3000",
+                         "--l2-kilobytes", "64", "--engine", engine]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert "Holes per L2 miss" in outputs[0]
+        # Same numbers from both engines: the table is byte-identical.
+        assert outputs[0] == outputs[1]
+
+
+class TestVirtualRealExample:
+    """The examples/virtual_real_hierarchy.py CLI (argparse + JSON output)."""
+
+    @pytest.fixture()
+    def example(self):
+        import importlib.util
+        from pathlib import Path
+        path = (Path(__file__).parent.parent / "examples"
+                / "virtual_real_hierarchy.py")
+        spec = importlib.util.spec_from_file_location("vr_example", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_json_output_and_engine_agreement(self, example, capsys):
+        import json
+        results = []
+        for engine in ("reference", "vectorized"):
+            assert example.main(["--accesses", "4000", "--engine", engine,
+                                 "--json"]) == 0
+            results.append(json.loads(capsys.readouterr().out))
+        reference, vectorized = results
+        assert reference["engine"] == "reference"
+        assert vectorized["engine"] == "vectorized"
+        for key in ("l1_load_miss_ratio", "l2_misses", "holes_created",
+                    "hole_rate_per_l2_miss", "page_faults",
+                    "alias_invalidations"):
+            assert reference[key] == vectorized[key], key
+        assert reference["inclusion_holds"] is True
+
+    def test_human_readable_output(self, example, capsys):
+        assert example.main(["--accesses", "2000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hole rate per L2 miss" in out
+        assert "[reference engine]" in out
+
+    def test_custom_l2_size(self, example, capsys):
+        assert example.main(["--accesses", "2000", "--l2-kilobytes", "64",
+                             "--json"]) == 0
+        import json
+        assert json.loads(capsys.readouterr().out)["l2_bytes"] == 64 * 1024

@@ -459,3 +459,139 @@ def test_multiconfig_profile_matches_both_engines_on_random_geometries(
     for address, w in zip(addresses, is_write):
         scalar.access(address, is_write=w)
     assert ProfileCounts.from_stats(scalar.stats) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, (1 << 16) - 1), min_size=1,
+                       max_size=400),
+    writes=st.data(),
+    l1_m=st.integers(3, 4),
+    l2_m=st.integers(4, 6),
+    write_back=st.booleans(),
+    epoch_hint=st.sampled_from([None, 7, 32]),
+)
+def test_batch_hierarchy_matches_scalar_on_random_traces(
+        addresses, writes, l1_m, l2_m, write_back, epoch_hint):
+    """Random traces and geometries through the miss-stream composition:
+    per-level counters, hole accounting, residency and the per-access hit
+    sequences must match the scalar two-level protocol exactly — including
+    runs where tiny pinned epochs force stop/rewind after stop/rewind."""
+    from repro.cache.hierarchy import TwoLevelHierarchy
+    from repro.engine import batch_hierarchy_like
+
+    block = 16
+    is_write = writes.draw(st.lists(st.booleans(), min_size=len(addresses),
+                                    max_size=len(addresses)))
+    l1_policy = (WritePolicy.WRITE_BACK_ALLOCATE if write_back
+                 else WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+    l1 = SetAssociativeCache(
+        (1 << l1_m) * block * 2, block, 2,
+        index_function=IPolyIndexing(1 << l1_m, ways=2, skewed=True,
+                                     address_bits=16),
+        write_policy=l1_policy)
+    l2 = SetAssociativeCache((1 << l2_m) * block * 2, block, 2,
+                             write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+    assume(l2.size_bytes >= l1.size_bytes)
+    scalar = TwoLevelHierarchy(l1, l2)
+    batch = batch_hierarchy_like(scalar, epoch_hint=epoch_hint)
+
+    ref_l1, ref_l2 = [], []
+    for address, w in zip(addresses, is_write):
+        outcome = scalar.access(address, is_write=w)
+        ref_l1.append(outcome.l1_hit)
+        ref_l2.append(outcome.l2_hit)
+    result = batch.run(AddressBatch.from_arrays(
+        np.array(addresses, dtype=np.uint64), np.array(is_write, dtype=bool)))
+
+    assert result.l1_hits.tolist() == ref_l1
+    assert result.l2_hits.tolist() == ref_l2
+    for level_s, level_b in ((scalar.l1, batch.l1), (scalar.l2, batch.l2)):
+        assert level_s.stats.loads == level_b.stats.loads
+        assert level_s.stats.stores == level_b.stats.stores
+        assert level_s.stats.load_misses == level_b.stats.load_misses
+        assert level_s.stats.store_misses == level_b.stats.store_misses
+        assert level_s.stats.evictions == level_b.stats.evictions
+        assert level_s.stats.writebacks == level_b.stats.writebacks
+        assert level_s.stats.invalidations == level_b.stats.invalidations
+        assert sorted(level_s.resident_blocks()) == sorted(
+            level_b.resident_blocks())
+    assert scalar.holes_created == batch.holes_created
+    assert scalar.back_invalidations == batch.back_invalidations
+    assert scalar.l2_misses_causing_holes == batch.l2_misses_causing_holes
+    assert batch.check_inclusion()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, (1 << 16) - 1), min_size=1,
+                       max_size=400),
+    writes=st.data(),
+    seed=st.integers(0, 2**10),
+    tlb_entries=st.sampled_from([None, 2, 8]),
+    epoch_hint=st.sampled_from([None, 16]),
+)
+def test_batch_virtual_real_matches_scalar_on_random_traces(
+        addresses, writes, seed, tlb_entries, epoch_hint):
+    """Random virtual traces through batched translation + the virtual-real
+    composition: cache counters, hole/alias accounting, page faults and TLB
+    counters must match the per-access scalar protocol exactly."""
+    from repro.cache.virtual_real import VirtualRealHierarchy
+    from repro.engine import batch_virtual_real_like
+    from repro.memory.paging import TLB, PageTable
+    from repro.memory.translation import AddressTranslator
+
+    block = 16
+    page_size = 1024
+    is_write = writes.draw(st.lists(st.booleans(), min_size=len(addresses),
+                                    max_size=len(addresses)))
+
+    def build_level(num_sets, l2=False):
+        policy = (WritePolicy.WRITE_BACK_ALLOCATE if l2
+                  else WritePolicy.WRITE_THROUGH_NO_ALLOCATE)
+        index = None if l2 else IPolyIndexing(num_sets, ways=2, skewed=True,
+                                              address_bits=16)
+        return SetAssociativeCache(num_sets * block * 2, block, 2,
+                                   index_function=index, write_policy=policy)
+
+    table = PageTable(page_size=page_size, allocation="scatter", seed=seed)
+    tlb = (TLB(entries=tlb_entries, page_size=page_size)
+           if tlb_entries else None)
+    translate = (AddressTranslator(table, tlb).translate if tlb
+                 else table.translate)
+    scalar = VirtualRealHierarchy(build_level(8), build_level(32, l2=True),
+                                  translate=translate, page_size=page_size)
+    twin_table = PageTable(page_size=page_size, allocation="scatter",
+                           seed=seed)
+    twin_tlb = (TLB(entries=tlb_entries, page_size=page_size)
+                if tlb_entries else None)
+    batch = batch_virtual_real_like(scalar, twin_table, tlb=twin_tlb,
+                                    epoch_hint=epoch_hint)
+
+    ref_l1, ref_l2 = [], []
+    for address, w in zip(addresses, is_write):
+        outcome = scalar.access(address, is_write=w)
+        ref_l1.append(outcome.l1_hit)
+        ref_l2.append(outcome.l2_hit)
+    result = batch.run(AddressBatch.from_arrays(
+        np.array(addresses, dtype=np.uint64), np.array(is_write, dtype=bool)))
+
+    assert result.l1_hits.tolist() == ref_l1
+    assert result.l2_hits.tolist() == ref_l2
+    for level_s, level_b in ((scalar.l1, batch.l1), (scalar.l2, batch.l2)):
+        assert level_s.stats.loads == level_b.stats.loads
+        assert level_s.stats.stores == level_b.stats.stores
+        assert level_s.stats.load_misses == level_b.stats.load_misses
+        assert level_s.stats.store_misses == level_b.stats.store_misses
+        assert level_s.stats.evictions == level_b.stats.evictions
+        assert level_s.stats.writebacks == level_b.stats.writebacks
+        assert sorted(level_s.resident_blocks()) == sorted(
+            level_b.resident_blocks())
+    assert scalar.holes_created == batch.holes_created
+    assert scalar.alias_invalidations == batch.alias_invalidations
+    assert scalar._phys_of_virt == batch._phys_of_virt
+    assert table.page_faults == twin_table.page_faults
+    if tlb is not None:
+        assert (tlb.hits, tlb.misses) == (twin_tlb.hits, twin_tlb.misses)
+        assert list(tlb._table.items()) == list(twin_tlb._table.items())
+    assert batch.check_inclusion()

@@ -218,3 +218,29 @@ def test_lru_grid_profile_matches_golden(profile):
     }
     assert miss_ratios == golden["miss_ratios"]
     assert load_miss_ratios == golden["load_miss_ratios"]
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_holes_study_matches_golden(engine):
+    """Section 3.3 hole study: pins the virtual-real Inclusion protocol —
+    hole accounting included — on both engines to one committed snapshot.
+    The 16 KB L2 row keeps back-invalidations dense (hole rate ~0.59), so
+    the batch engine's epoch stop/rewind path is exercised, not idled."""
+    from repro.experiments.holes_study import run_holes_study
+
+    golden = load_golden("holes_study.json")
+    params = golden["params"]
+    result = run_holes_study(l2_sizes=params["l2_sizes"],
+                             programs=params["programs"],
+                             accesses=params["accesses"],
+                             seed=params["seed"],
+                             engine=engine)
+    for size in params["l2_sizes"]:
+        key = str(size)
+        assert result.predicted_hole_probability[size] == (
+            golden["predicted_hole_probability"][key])
+        assert result.simulated_hole_rate[size] == (
+            golden["simulated_hole_rate"][key])
+        assert result.per_program_hole_rate[size] == (
+            golden["per_program_hole_rate"][key])
+        assert result.l2_misses[size] == golden["l2_misses"][key]

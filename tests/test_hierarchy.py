@@ -91,7 +91,51 @@ class TestInclusion:
         assert hierarchy.back_invalidations == 0
 
 
+class TestBackInvalidationEdges:
+    def test_dirty_l1_victim_back_invalidated_by_l2_eviction(self):
+        """A write-back L1 line killed by an L2 eviction vanishes silently:
+        back-invalidation discards the dirty data without a writeback (the
+        line's L2 copy is itself on the way out)."""
+        l1 = SetAssociativeCache(
+            1024, 32, 2,
+            index_function=IPolyIndexing(16, ways=2, skewed=True,
+                                         address_bits=16),
+            write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        l2 = SetAssociativeCache(2048, 32, 2,
+                                 write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+        hierarchy = TwoLevelHierarchy(l1, l2)
+        hierarchy.access(0, is_write=True)      # block 0 dirty in L1
+        hierarchy.access(1024)                  # same L2 set (32 sets, 2-way)
+        assert hierarchy.l1.contains_block(0)   # still live and dirty in L1
+        writebacks_before = l1.stats.writebacks
+        hierarchy.access(2048)                  # L2 evicts block 0
+        assert not hierarchy.l1.contains_block(0)
+        assert hierarchy.back_invalidations >= 1
+        assert hierarchy.holes_created >= 1
+        assert l1.stats.writebacks == writebacks_before
+        assert hierarchy.check_inclusion()
+
+    def test_check_inclusion_after_midstream_flush(self):
+        hierarchy = build_hierarchy(
+            l1_size=512, l2_size=1024,
+            l1_index=IPolyIndexing(8, ways=2, skewed=True, address_bits=16))
+        for i in range(64):
+            hierarchy.access(i * 32)
+        hierarchy.flush()
+        assert hierarchy.check_inclusion()
+        assert hierarchy.l1.resident_blocks() == []
+        for i in range(64, 128):
+            hierarchy.access(i * 32)
+        assert hierarchy.check_inclusion()
+
+
 class TestValidation:
+    def test_l1_block_must_not_exceed_l2_block(self):
+        l1 = SetAssociativeCache(512, 64, 2)
+        l2 = SetAssociativeCache(2048, 32, 2)
+        with pytest.raises(ValueError, match="must not exceed"):
+            TwoLevelHierarchy(l1, l2)
+
     def test_l2_must_not_be_smaller_than_l1(self):
         l1 = SetAssociativeCache(2048, 32, 2)
         l2 = SetAssociativeCache(1024, 32, 2)

@@ -1,0 +1,427 @@
+"""Differential tests: the batch multi-level engine against the scalar models.
+
+The batch hierarchy composes per-level kernels by exchanging *miss streams*
+(:class:`~repro.engine.hierarchy_vec.MissStream`): an L1 collect pass emits
+the L2 access batch, L2 evictions feed back as back-invalidations through an
+epoch stop/rewind protocol.  These tests pin the whole composition to the
+scalar :class:`~repro.cache.hierarchy.TwoLevelHierarchy` and
+:class:`~repro.cache.virtual_real.VirtualRealHierarchy` protocols: per-level
+:class:`~repro.cache.stats.CacheStats`, hole/back-invalidation/alias
+counters, per-access hit sequences, resident-block sets, the Inclusion
+invariant, and (for virtual-real) page-fault and TLB counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import TwoLevelHierarchy
+from repro.cache.set_assoc import SetAssociativeCache, WritePolicy
+from repro.cache.virtual_real import VirtualRealHierarchy
+from repro.core.index import IPolyIndexing
+from repro.engine import (
+    AddressBatch,
+    BatchTwoLevelHierarchy,
+    BatchVirtualRealHierarchy,
+    MissStream,
+    batch_cache_like,
+    batch_hierarchy_like,
+    batch_virtual_real_like,
+)
+from repro.memory.paging import TLB, PageTable
+from repro.memory.translation import AddressTranslator
+from repro.trace.generators import (
+    multi_array_sweep,
+    random_accesses,
+    strided_vector,
+)
+
+TRACES = {
+    "strided": lambda: strided_vector(17, elements=64, sweeps=6),
+    "multi-array": lambda: multi_array_sweep(num_arrays=4, elements=400,
+                                             sweeps=2),
+    "random": lambda: random_accesses(4000, 48 * 1024, write_fraction=0.3,
+                                      seed=11),
+}
+
+
+def _ipoly(num_sets, ways=2):
+    return IPolyIndexing(num_sets, ways=ways, skewed=True, address_bits=16)
+
+
+def make_l1(size=512, block=32, ways=2, ipoly=True, replacement=None,
+            write_policy=WritePolicy.WRITE_THROUGH_NO_ALLOCATE):
+    index = _ipoly(size // (block * ways), ways) if ipoly else None
+    return SetAssociativeCache(size, block, ways, index_function=index,
+                               replacement=replacement,
+                               write_policy=write_policy)
+
+
+def make_l2(size=2048, block=32, ways=2, replacement=None):
+    return SetAssociativeCache(size, block, ways, replacement=replacement,
+                               write_policy=WritePolicy.WRITE_BACK_ALLOCATE)
+
+
+def stats_tuple(stats):
+    return (stats.loads, stats.stores, stats.load_misses, stats.store_misses,
+            stats.evictions, stats.writebacks, stats.invalidations,
+            stats.holes_created)
+
+
+def run_scalar_hierarchy(hierarchy, trace):
+    l1_hits, l2_hits = [], []
+    for access in trace:
+        result = hierarchy.access(access.address, is_write=access.is_write)
+        l1_hits.append(result.l1_hit)
+        l2_hits.append(result.l2_hit)
+    return l1_hits, l2_hits
+
+
+def assert_hierarchies_match(scalar, batch, result=None, scalar_hits=None):
+    assert stats_tuple(scalar.l1.stats) == stats_tuple(batch.l1.stats)
+    assert stats_tuple(scalar.l2.stats) == stats_tuple(batch.l2.stats)
+    assert scalar.holes_created == batch.holes_created
+    assert scalar.l2_misses_causing_holes == batch.l2_misses_causing_holes
+    assert sorted(scalar.l1.resident_blocks()) == sorted(
+        batch.l1.resident_blocks())
+    assert sorted(scalar.l2.resident_blocks()) == sorted(
+        batch.l2.resident_blocks())
+    assert scalar.check_inclusion() and batch.check_inclusion()
+    if result is not None and scalar_hits is not None:
+        l1_hits, l2_hits = scalar_hits
+        assert result.l1_hits.tolist() == l1_hits
+        assert result.l2_hits.tolist() == l2_hits
+
+
+class TestHierarchyDifferential:
+    @pytest.mark.parametrize("trace_name", sorted(TRACES))
+    @pytest.mark.parametrize("ipoly", [True, False], ids=["ipoly", "conv"])
+    def test_matches_scalar(self, trace_name, ipoly):
+        trace = list(TRACES[trace_name]())
+        scalar = TwoLevelHierarchy(make_l1(ipoly=ipoly), make_l2())
+        batch = batch_hierarchy_like(scalar)
+        hits = run_scalar_hierarchy(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert_hierarchies_match(scalar, batch, result, hits)
+        assert scalar.back_invalidations == batch.back_invalidations
+
+    @pytest.mark.parametrize("trace_name", sorted(TRACES))
+    def test_write_back_l1(self, trace_name):
+        """Dirty L1 victims ride the miss stream as write-backs to L2."""
+        trace = list(TRACES[trace_name]())
+        scalar = TwoLevelHierarchy(
+            make_l1(write_policy=WritePolicy.WRITE_BACK_ALLOCATE), make_l2())
+        batch = batch_hierarchy_like(scalar)
+        hits = run_scalar_hierarchy(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert_hierarchies_match(scalar, batch, result, hits)
+
+    def test_tiny_l2_forces_rewinds(self):
+        """A barely-larger L2 makes back-invalidations dense; tiny pinned
+        epochs force the stop/rewind path over and over."""
+        trace = list(random_accesses(3000, 8 * 1024, write_fraction=0.2,
+                                     seed=3))
+        scalar = TwoLevelHierarchy(make_l1(size=512), make_l2(size=1024))
+        batch = batch_hierarchy_like(scalar, epoch_hint=16)
+        hits = run_scalar_hierarchy(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert batch.rewinds > 0
+        assert scalar.back_invalidations == batch.back_invalidations
+        assert_hierarchies_match(scalar, batch, result, hits)
+
+    def test_different_block_sizes(self):
+        """L2 blocks twice the L1 size: one L2 eviction can punch two holes."""
+        trace = list(random_accesses(3000, 16 * 1024, write_fraction=0.2,
+                                     seed=5))
+        scalar = TwoLevelHierarchy(
+            make_l1(size=512, block=32),
+            SetAssociativeCache(2048, 64, 2,
+                                write_policy=WritePolicy.WRITE_BACK_ALLOCATE))
+        batch = batch_hierarchy_like(scalar, epoch_hint=64)
+        hits = run_scalar_hierarchy(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert_hierarchies_match(scalar, batch, result, hits)
+
+    @pytest.mark.parametrize("l1_policy,l2_policy",
+                             [("fifo", None), (None, "plru"),
+                              ("plru", "fifo")])
+    def test_non_lru_policies_use_generic_kernels(self, l1_policy, l2_policy):
+        trace = list(TRACES["random"]())
+        scalar = TwoLevelHierarchy(make_l1(replacement=l1_policy),
+                                   make_l2(replacement=l2_policy))
+        batch = batch_hierarchy_like(scalar)
+        if l1_policy is not None:
+            assert batch.l1_collect_kernel == "collect-generic"
+        if l2_policy is not None:
+            assert batch.l2_consume_kernel == "consume-generic"
+        hits = run_scalar_hierarchy(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert_hierarchies_match(scalar, batch, result, hits)
+
+    def test_non_inclusive_mode(self):
+        trace = list(TRACES["random"]())
+        scalar = TwoLevelHierarchy(make_l1(), make_l2(size=1024),
+                                   enforce_inclusion=False)
+        batch = batch_hierarchy_like(scalar)
+        assert batch.dispatch_strategy() == "hierarchy-stream"
+        hits = run_scalar_hierarchy(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert batch.holes_created == 0 and batch.rewinds == 0
+        assert stats_tuple(scalar.l1.stats) == stats_tuple(batch.l1.stats)
+        assert stats_tuple(scalar.l2.stats) == stats_tuple(batch.l2.stats)
+        assert result.l1_hits.tolist() == hits[0]
+        assert result.l2_hits.tolist() == hits[1]
+
+    def test_warm_state_across_batches(self):
+        """State carries over between run() calls exactly like scalar state."""
+        trace = list(TRACES["multi-array"]())
+        scalar = TwoLevelHierarchy(make_l1(), make_l2(size=1024))
+        batch = batch_hierarchy_like(scalar, epoch_hint=128)
+        chunk = len(trace) // 3
+        for i in range(3):
+            part = trace[i * chunk:(i + 1) * chunk if i < 2 else len(trace)]
+            hits = run_scalar_hierarchy(scalar, part)
+            result = batch.run(AddressBatch.from_trace(part))
+            assert_hierarchies_match(scalar, batch, result, hits)
+
+    def test_flush_mid_stream(self):
+        trace = list(TRACES["strided"]())
+        half = len(trace) // 2
+        scalar = TwoLevelHierarchy(make_l1(), make_l2(size=1024))
+        batch = batch_hierarchy_like(scalar)
+        run_scalar_hierarchy(scalar, trace[:half])
+        batch.run(AddressBatch.from_trace(trace[:half]))
+        scalar.flush()
+        batch.flush()
+        assert batch.check_inclusion()
+        hits = run_scalar_hierarchy(scalar, trace[half:])
+        result = batch.run(AddressBatch.from_trace(trace[half:]))
+        assert_hierarchies_match(scalar, batch, result, hits)
+
+    def test_empty_batch(self):
+        batch = batch_hierarchy_like(TwoLevelHierarchy(make_l1(), make_l2()))
+        result = batch.run(AddressBatch.from_arrays(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=bool)))
+        assert len(result) == 0 and batch.epochs == 0
+
+
+def make_vr_pair(l1_size=512, l2_size=2048, tlb_entries=None, seed=7,
+                 epoch_hint=None, l1_kwargs=None):
+    """Identically-seeded scalar virtual-real hierarchy and batch twin."""
+    page_size = 4096
+    table = PageTable(page_size=page_size, allocation="scatter", seed=seed)
+    tlb = TLB(entries=tlb_entries, page_size=page_size) if tlb_entries else None
+    translate = (AddressTranslator(table, tlb).translate if tlb
+                 else table.translate)
+    scalar = VirtualRealHierarchy(make_l1(size=l1_size, **(l1_kwargs or {})),
+                                  make_l2(size=l2_size),
+                                  translate=translate, page_size=page_size)
+    twin_table = PageTable(page_size=page_size, allocation="scatter",
+                           seed=seed)
+    twin_tlb = (TLB(entries=tlb_entries, page_size=page_size)
+                if tlb_entries else None)
+    batch = batch_virtual_real_like(scalar, twin_table, tlb=twin_tlb,
+                                    epoch_hint=epoch_hint)
+    return scalar, table, tlb, batch, twin_table, twin_tlb
+
+
+def run_scalar_vr(hierarchy, trace):
+    l1_hits, l2_hits = [], []
+    for access in trace:
+        result = hierarchy.access(access.address, is_write=access.is_write)
+        l1_hits.append(result.l1_hit)
+        l2_hits.append(result.l2_hit)
+    return l1_hits, l2_hits
+
+
+def assert_vr_match(scalar, batch, result=None, scalar_hits=None):
+    assert stats_tuple(scalar.l1.stats) == stats_tuple(batch.l1.stats)
+    assert stats_tuple(scalar.l2.stats) == stats_tuple(batch.l2.stats)
+    assert scalar.holes_created == batch.holes_created
+    assert scalar.l2_misses_causing_holes == batch.l2_misses_causing_holes
+    assert scalar.alias_invalidations == batch.alias_invalidations
+    assert sorted(scalar.l1.resident_blocks()) == sorted(
+        batch.l1.resident_blocks())
+    assert sorted(scalar.l2.resident_blocks()) == sorted(
+        batch.l2.resident_blocks())
+    assert scalar._phys_of_virt == batch._phys_of_virt
+    assert scalar.check_inclusion() and batch.check_inclusion()
+    if result is not None and scalar_hits is not None:
+        assert result.l1_hits.tolist() == scalar_hits[0]
+        assert result.l2_hits.tolist() == scalar_hits[1]
+
+
+class TestVirtualRealDifferential:
+    @pytest.mark.parametrize("trace_name", sorted(TRACES))
+    @pytest.mark.parametrize("tlb_entries", [None, 8], ids=["no-tlb", "tlb8"])
+    def test_matches_scalar(self, trace_name, tlb_entries):
+        trace = list(TRACES[trace_name]())
+        scalar, table, tlb, batch, twin_table, twin_tlb = make_vr_pair(
+            tlb_entries=tlb_entries)
+        assert batch.dispatch_strategy() == "vr-epoch-stream"
+        hits = run_scalar_vr(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert_vr_match(scalar, batch, result, hits)
+        assert table.page_faults == twin_table.page_faults
+        assert table._mapping == twin_table._mapping
+        if tlb_entries:
+            assert (tlb.hits, tlb.misses) == (twin_tlb.hits, twin_tlb.misses)
+            assert list(tlb._table) == list(twin_tlb._table)
+
+    def test_tiny_l2_forces_rewinds(self):
+        trace = list(random_accesses(3000, 8 * 1024, write_fraction=0.2,
+                                     seed=13))
+        scalar, table, _tlb, batch, twin_table, _tt = make_vr_pair(
+            l2_size=1024, epoch_hint=16)
+        hits = run_scalar_vr(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert batch.rewinds > 0
+        assert_vr_match(scalar, batch, result, hits)
+        assert table.page_faults == twin_table.page_faults
+
+    def test_doctored_alias_mapping_dispatches_fused(self):
+        """Duplicate frames in the page table break injectivity, so the
+        engine must fall back to the alias-capable fused path — and still
+        match the scalar protocol, alias invalidations included."""
+        trace = list(random_accesses(2000, 16 * 1024, write_fraction=0.2,
+                                     seed=17))
+        page_size = 4096
+        table = PageTable(page_size=page_size, allocation="sequential")
+        table._mapping[0] = 0
+        table._mapping[1] = 0      # virtual pages 0 and 1 alias to frame 0
+        scalar = VirtualRealHierarchy(make_l1(), make_l2(),
+                                      translate=table.translate,
+                                      page_size=page_size)
+        twin_table = PageTable(page_size=page_size, allocation="sequential")
+        twin_table._mapping[0] = 0
+        twin_table._mapping[1] = 0
+        batch = batch_virtual_real_like(scalar, twin_table)
+        assert batch.dispatch_strategy() == "vr-fused"
+        hits = run_scalar_vr(scalar, trace)
+        result = batch.run(AddressBatch.from_trace(trace))
+        assert scalar.alias_invalidations > 0
+        assert_vr_match(scalar, batch, result, hits)
+
+    def test_external_invalidate_between_batches(self):
+        trace = list(TRACES["multi-array"]())
+        half = len(trace) // 2
+        scalar, table, _tlb, batch, _twin, _tt = make_vr_pair()
+        run_scalar_vr(scalar, trace[:half])
+        batch.run(AddressBatch.from_trace(trace[:half]))
+        # Invalidate the physical image of a line resident in both levels.
+        virt_block = scalar.l1.resident_blocks()[0]
+        physical = scalar._phys_of_virt[virt_block] * 32
+        assert scalar.external_invalidate(physical)
+        assert batch.external_invalidate(physical)
+        assert scalar.external_invalidations == batch.external_invalidations
+        hits = run_scalar_vr(scalar, trace[half:])
+        result = batch.run(AddressBatch.from_trace(trace[half:]))
+        assert_vr_match(scalar, batch, result, hits)
+
+    def test_batch_tlb_matches_scalar_translator(self):
+        """The run-collapsing TLB kernel leaves counters and LRU order
+        exactly where per-access AddressTranslator lookups would."""
+        trace = list(TRACES["strided"]())
+        addresses = [a.address for a in trace]
+        table = PageTable(page_size=4096, allocation="scatter", seed=23)
+        tlb = TLB(entries=4, page_size=4096)
+        translator = AddressTranslator(table, tlb)
+        scalar_phys = [translator.translate(a) for a in addresses]
+
+        from repro.engine import BatchTranslator
+        twin_table = PageTable(page_size=4096, allocation="scatter", seed=23)
+        twin_tlb = TLB(entries=4, page_size=4096)
+        batch_result = BatchTranslator(twin_table, twin_tlb).lookup_batch(
+            np.array(addresses, dtype=np.uint64))
+        assert batch_result.physical.tolist() == scalar_phys
+        assert (tlb.hits, tlb.misses) == (twin_tlb.hits, twin_tlb.misses)
+        assert list(tlb._table.items()) == list(twin_tlb._table.items())
+        assert table.page_faults == twin_table.page_faults
+
+    def test_flush_clears_maps(self):
+        trace = list(TRACES["strided"]())
+        scalar, _table, _tlb, batch, _twin, _tt = make_vr_pair()
+        run_scalar_vr(scalar, trace)
+        batch.run(AddressBatch.from_trace(trace))
+        batch.flush()
+        assert batch.l1.resident_blocks() == []
+        assert batch._phys_of_virt == {} and batch._virt_of_phys == {}
+        assert batch.check_inclusion()
+
+
+class TestIntrospection:
+    def test_hierarchy_dispatch_and_kernel_names(self):
+        batch = batch_hierarchy_like(TwoLevelHierarchy(make_l1(), make_l2()))
+        assert batch.dispatch_strategy() == "hierarchy-epoch-stream"
+        assert batch.l1_collect_kernel.startswith("collect-")
+        assert batch.l2_consume_kernel.startswith("consume-")
+        assert batch.l2_consume_kernel == "consume-dict-lru"
+
+    def test_vr_exposes_translation_state(self):
+        _s, _t, _l, batch, twin_table, twin_tlb = make_vr_pair(tlb_entries=8)
+        assert batch.page_table is twin_table
+        assert batch.tlb is twin_tlb
+
+    def test_miss_stream_columns(self):
+        stream = MissStream([(0, 5, False, True, -1, False),
+                             (3, 7, True, True, 5, True)])
+        assert len(stream) == 2
+        assert stream.positions == [0, 3]
+        assert stream.l2_blocks == [5, 7]
+        assert stream.is_write == [False, True]
+        assert stream.is_l1_miss == [True, True]
+        assert stream.victim_blocks == [-1, 5]
+        assert stream.victim_dirty == [False, True]
+
+    def test_run_reports_epoch_counters(self):
+        trace = list(TRACES["random"]())
+        scalar = TwoLevelHierarchy(make_l1(), make_l2())
+        batch = batch_hierarchy_like(scalar, epoch_hint=64)
+        batch.run(AddressBatch.from_trace(trace))
+        assert batch.epochs >= len(trace) // 64
+        assert batch.stream_entries > 0
+
+
+class TestValidation:
+    def test_l1_block_must_not_exceed_l2_block(self):
+        l1 = batch_cache_like(SetAssociativeCache(512, 64, 2))
+        l2 = batch_cache_like(SetAssociativeCache(2048, 32, 2))
+        with pytest.raises(ValueError, match="must not exceed"):
+            BatchTwoLevelHierarchy(l1, l2)
+
+    def test_l2_must_not_be_smaller_than_l1(self):
+        l1 = batch_cache_like(SetAssociativeCache(2048, 32, 2))
+        l2 = batch_cache_like(SetAssociativeCache(1024, 32, 2))
+        with pytest.raises(ValueError, match="at least as large"):
+            BatchTwoLevelHierarchy(l1, l2)
+
+    def test_epoch_hint_must_be_positive(self):
+        l1 = batch_cache_like(make_l1())
+        l2 = batch_cache_like(make_l2())
+        with pytest.raises(ValueError, match="positive"):
+            BatchTwoLevelHierarchy(l1, l2, epoch_hint=0)
+
+    def test_classifying_levels_rejected(self):
+        from repro.engine import BatchSetAssociativeCache
+        l1 = BatchSetAssociativeCache(512, 32, 2, classify_misses=True)
+        l2 = batch_cache_like(make_l2())
+        with pytest.raises(ValueError, match="classification"):
+            BatchTwoLevelHierarchy(l1, l2)
+
+    def test_vr_blocks_must_match(self):
+        l1 = batch_cache_like(SetAssociativeCache(512, 32, 2))
+        l2 = batch_cache_like(SetAssociativeCache(4096, 64, 2))
+        with pytest.raises(ValueError, match="equal L1/L2 block sizes"):
+            BatchVirtualRealHierarchy(l1, l2, PageTable(4096))
+
+    def test_vr_page_size_must_cover_a_block(self):
+        l1 = batch_cache_like(SetAssociativeCache(512, 64, 2))
+        l2 = batch_cache_like(SetAssociativeCache(4096, 64, 2))
+        with pytest.raises(ValueError, match="multiple of the cache block"):
+            BatchVirtualRealHierarchy(l1, l2, PageTable(page_size=32))
+
+    def test_vr_tlb_page_size_must_agree(self):
+        l1 = batch_cache_like(make_l1())
+        l2 = batch_cache_like(make_l2())
+        with pytest.raises(ValueError, match="agree on page size"):
+            BatchVirtualRealHierarchy(l1, l2, PageTable(4096),
+                                      tlb=TLB(entries=8, page_size=8192))

@@ -117,7 +117,66 @@ class TestInclusionAndHoles:
         assert hierarchy.check_inclusion()
 
 
+class TestPhysicalEventEdges:
+    def test_external_invalidate_of_block_resident_in_both_levels(self):
+        """A coherence invalidation must remove the line from both levels and
+        unmap the pointer state, so the next access misses all the way."""
+        hierarchy, page_table = build()
+        virtual = 0x5000
+        hierarchy.access(virtual)
+        physical = page_table.translate(virtual)
+        assert hierarchy.l1.contains_block(virtual // 32)
+        assert hierarchy.l2.contains_block(physical // 32)
+        assert hierarchy.external_invalidate(physical)
+        assert hierarchy.external_invalidations == 1
+        assert hierarchy.check_inclusion()
+        again = hierarchy.access(virtual)
+        assert again.memory_access
+
+    def test_external_invalidate_without_l1_copy(self):
+        hierarchy, page_table = build(l1_size=128)
+        hierarchy.access(0x0)
+        physical = page_table.translate(0x0)
+        # Push the line out of L1 but not out of the much larger L2.
+        for i in range(1, 9):
+            hierarchy.access(i * 0x1000)
+        if hierarchy.l1.contains_block(0):
+            pytest.skip("line survived the tiny L1")
+        assert not hierarchy.external_invalidate(physical)
+        assert hierarchy.external_invalidations == 0
+
+    def test_check_inclusion_after_midstream_flush(self):
+        hierarchy, _ = build(l1_size=512, l2_size=1024)
+        for i in range(64):
+            hierarchy.access(i * 32)
+        hierarchy.flush()
+        assert hierarchy.check_inclusion()
+        for i in range(64, 128):
+            hierarchy.access(i * 32)
+        assert hierarchy.check_inclusion()
+
+
 class TestValidation:
+    def test_page_size_must_be_power_of_two(self):
+        l1 = SetAssociativeCache(512, 32, 2)
+        l2 = SetAssociativeCache(2048, 32, 2)
+        with pytest.raises(ValueError, match="power of two"):
+            VirtualRealHierarchy(l1, l2, translate=lambda a: a, page_size=3000)
+
+    def test_page_size_must_cover_a_block(self):
+        l1 = SetAssociativeCache(512, 32, 2)
+        l2 = SetAssociativeCache(2048, 32, 2)
+        with pytest.raises(ValueError, match="multiple of the cache block"):
+            VirtualRealHierarchy(l1, l2, translate=lambda a: a, page_size=16)
+
+    def test_valid_page_size_is_exposed(self):
+        l1 = SetAssociativeCache(512, 32, 2)
+        l2 = SetAssociativeCache(2048, 32, 2)
+        hierarchy = VirtualRealHierarchy(l1, l2, translate=lambda a: a,
+                                         page_size=4096)
+        assert hierarchy.page_size == 4096
+        assert build()[0].page_size is None
+
     def test_block_sizes_must_match(self):
         l1 = SetAssociativeCache(512, 32, 2)
         l2 = SetAssociativeCache(2048, 64, 2)
