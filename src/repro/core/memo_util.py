@@ -55,6 +55,8 @@ class BoundedMemo:
         self.byte_limit = byte_limit
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
         self._nbytes_of = nbytes_of or (lambda value: value.nbytes)
         self._bytes = 0
         self._lock = threading.Lock()
@@ -76,6 +78,8 @@ class BoundedMemo:
             self.misses += 1
         value = build()
         if self._nbytes_of(value) > self.byte_limit // 2:
+            with self._lock:
+                self.bypasses += 1
             return value
         with self._lock:
             stale = self._entries.pop(key, None)
@@ -91,6 +95,7 @@ class BoundedMemo:
                or self._bytes > self.byte_limit):
             _, (_, dropped) = self._entries.popitem(last=False)
             self._bytes -= self._nbytes_of(dropped)
+            self.evictions += 1
 
     def set_limit(self, limit: int) -> int:
         """Change the entry bound (evicting immediately); returns the old."""
@@ -103,28 +108,43 @@ class BoundedMemo:
         return old
 
     def clear(self) -> None:
-        """Drop every entry and zero the hit/miss counters."""
+        """Drop every entry and zero every counter."""
         with self._lock:
             self._entries.clear()
             self._bytes = 0
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self.bypasses = 0
 
     @property
     def nbytes(self) -> int:
         """Bytes retained by the entry values (anchors not counted)."""
         return self._bytes
 
+    def stats(self) -> dict:
+        """One consistent snapshot of the memo's accounting.
+
+        Taken under the lock, so the counters and occupancy are mutually
+        consistent even while pool-rebuild or thread-mode sweeps hammer the
+        memo concurrently: hits, misses, evictions, oversize bypasses, live
+        entry count, retained bytes, and both bounds.
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bypasses": self.bypasses,
+                "limit": self.limit,
+                "byte_limit": self.byte_limit,
+                "nbytes": self._bytes,
+            }
+
     def info(self) -> dict:
-        """Entry count, hit/miss counters and bounds, as one dict."""
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "limit": self.limit,
-            "byte_limit": self.byte_limit,
-            "nbytes": self._bytes,
-        }
+        """Alias of :meth:`stats` (the historical name)."""
+        return self.stats()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -17,7 +17,11 @@ the recorded data-cache access stream of a processor simulation through the
 batch kernels (bit-exact against the scalar L1 — the CPU leg of the
 equivalence story, exercised by the :mod:`repro.cpu.fuzzer` harness), and
 :mod:`repro.engine.sweep` fans experiment sweeps across
-``concurrent.futures`` workers.
+``concurrent.futures`` workers fault-tolerantly (per-task timeouts, seeded
+retry backoff, ``on_error="collect"`` :class:`TaskFailure` slots, mid-sweep
+pool rebuild with process→thread→serial degradation, and checkpoint/resume
+through :mod:`repro.engine.checkpoint`; :mod:`repro.engine.faults` is the
+deterministic chaos harness that proves those paths bit-exact).
 :mod:`repro.engine.multiconfig` prices whole conventional-LRU
 capacity/associativity sweeps out of single stack-distance /
 all-associativity trace passes (``MultiConfigPlan`` partitions a sweep's
@@ -29,6 +33,7 @@ Experiment drivers expose the choice as ``engine={"reference", "vectorized"}``
 """
 
 from .batch import AddressBatch, materialise_batch
+from .checkpoint import SweepJournal, task_digest
 from .batch_cache import (
     BatchColumnAssociativeCache,
     BatchSetAssociativeCache,
@@ -69,7 +74,14 @@ from .replacement_vec import (
 from .replay import ReplayOutcome, batch_cache_like, replay_access_stream
 from .set_decompose import group_by_set, run_decomposed_policy
 from .skew_decompose import run_skew_decomposed_policy, run_victim_decomposed
-from .sweep import chunk_tasks, run_sweep
+from .sweep import (
+    ON_ERROR_POLICIES,
+    SweepError,
+    TaskFailure,
+    backoff_delays,
+    chunk_tasks,
+    run_sweep,
+)
 from .tabulated import TabulatedIPolyIndexing, tabulate_index_function
 from .translate_vec import (
     BatchTranslationResult,
@@ -129,6 +141,12 @@ __all__ = [
     "vectorize_index",
     "run_sweep",
     "chunk_tasks",
+    "ON_ERROR_POLICIES",
+    "SweepError",
+    "TaskFailure",
+    "backoff_delays",
+    "SweepJournal",
+    "task_digest",
     "TabulatedIPolyIndexing",
     "tabulate_index_function",
 ]

@@ -1,0 +1,145 @@
+"""Sweep journals: append-only checkpoints so killed sweeps can resume.
+
+A multi-hour sweep that dies at task 3900 of 4096 — OOM-killed worker,
+pre-empted sandbox, plain Ctrl-C — should not have to redo the first 3899
+tasks.  :class:`SweepJournal` is the persistence layer behind
+``run_sweep(journal=..., resume=...)``: an append-only JSONL file holding
+one record per *completed* task, keyed by ``(position, task_digest)`` so a
+resumed run only trusts a record when the task at that position of the new
+task list is byte-identical to the one that produced the result.
+
+The format is deliberately dumb — one JSON object per line, written with an
+append-per-record discipline — because dumb survives crashes: a process
+killed mid-write leaves at most one truncated final line, which
+:meth:`SweepJournal.load` silently ignores (every *complete* record is still
+usable).  Corruption anywhere else is an error, reported with
+``path:line`` precision.
+
+Results that are plain JSON data (numbers, strings, lists, string-keyed
+dicts) are stored as JSON for greppability; anything else (e.g. the CPU
+simulator's ``SimulationResult``) is pickled and base64-wrapped in the same
+record envelope, so arbitrary picklable sweep results round-trip bit-exact.
+
+This file is also the seed of the ROADMAP's content-addressed result store:
+``task_digest`` is the content key a future sweep service would share
+between clients.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+__all__ = ["SweepJournal", "task_digest"]
+
+#: First line of every journal file.
+_HEADER = {"format": "repro-sweep-journal", "version": 1}
+
+
+def task_digest(task: Any) -> str:
+    """Stable content digest of one sweep task.
+
+    Tasks in this codebase are tuples of primitives (and small frozen
+    dataclasses), for which :mod:`pickle` output is deterministic across
+    runs of the same code version; unpicklable tasks fall back to their
+    ``repr``.  The digest is what makes resume safe: a journal record is
+    only replayed onto a task with the same digest at the same position.
+    """
+    try:
+        payload = pickle.dumps(task, protocol=4)
+    except Exception:
+        payload = repr(task).encode("utf-8", "replace")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _jsonable(value: Any) -> bool:
+    """True when ``value`` round-trips exactly through JSON."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True
+    if isinstance(value, list):
+        return all(_jsonable(item) for item in value)
+    if isinstance(value, dict):
+        return all(isinstance(key, str) and _jsonable(item)
+                   for key, item in value.items())
+    return False
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed sweep tasks."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def ensure_header(self) -> None:
+        """Create the journal file (with its header line) if absent/empty."""
+        if self.path.exists() and self.path.stat().st_size > 0:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(_HEADER, separators=(",", ":")) + "\n")
+
+    def append(self, index: int, digest: str, result: Any) -> None:
+        """Record one completed task; flushed per record for crash safety."""
+        record: Dict[str, Any] = {"index": index, "digest": digest}
+        if _jsonable(result):
+            record["result"] = result
+        else:
+            record["pickle"] = base64.b64encode(
+                pickle.dumps(result, protocol=4)).decode("ascii")
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.flush()
+
+    def load(self) -> Dict[Tuple[int, str], Any]:
+        """All complete records as ``{(index, digest): result}``.
+
+        A missing file is an empty journal.  An undecodable *final* line is
+        the signature of a crash mid-append and is skipped; a bad line (or a
+        bad header) anywhere else raises with ``path:line`` precision.
+        """
+        if not self.path.exists():
+            return {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        entries: Dict[Tuple[int, str], Any] = {}
+        for line_number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if line_number == len(lines):
+                    break  # truncated final append — the rest is intact
+                raise ValueError(
+                    f"{self.path}:{line_number}: corrupt journal record")
+            if line_number == 1:
+                if (not isinstance(record, dict)
+                        or record.get("format") != _HEADER["format"]):
+                    raise ValueError(
+                        f"{self.path}:1: not a repro sweep journal")
+                if record.get("version") != _HEADER["version"]:
+                    raise ValueError(
+                        f"{self.path}:1: unsupported journal version "
+                        f"{record.get('version')!r}")
+                continue
+            try:
+                index = record["index"]
+                digest = record["digest"]
+                if "pickle" in record:
+                    value = pickle.loads(base64.b64decode(record["pickle"]))
+                else:
+                    value = record["result"]
+            except (KeyError, TypeError, ValueError, pickle.PickleError) as exc:
+                raise ValueError(
+                    f"{self.path}:{line_number}: corrupt journal record "
+                    f"({exc})") from None
+            entries[(index, digest)] = value
+        return entries
+
+    def __len__(self) -> int:
+        """Number of complete task records currently in the journal."""
+        return len(self.load())

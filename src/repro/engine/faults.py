@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the sweep executor.
+
+``run_sweep``'s recovery paths — retry-on-raise, timeout-and-rebuild,
+``BrokenProcessPool`` resubmission, degrade-to-serial — are exactly the
+code that never runs in a healthy test environment.  This module makes the
+unhealthy environment reproducible: :class:`ChaosWorker` wraps any
+picklable sweep worker and, at task positions chosen by a seed
+(:func:`plan_faults`), injects one of three faults *inside the worker
+process*:
+
+* ``"raise"`` — raise :class:`ChaosError`;
+* ``"hang"`` — sleep past the scheduler's per-task timeout, then finish
+  normally (the result is discarded by the scheduler that abandoned it);
+* ``"kill"`` — ``os._exit`` the worker process, which surfaces to the
+  scheduler as a ``BrokenProcessPool`` mid-sweep.
+
+Faults are keyed by :func:`~repro.engine.checkpoint.task_digest`, so they
+follow the task wherever the scheduler re-dispatches it.  By default each
+fault fires **once**, coordinated across worker processes through marker
+files in a scratch directory (created with ``O_EXCL``, so exactly one
+process wins the right to misbehave): the retried attempt runs clean,
+which is what lets a test assert the recovered sweep is bit-exact with a
+fault-free serial run.  ``once=False`` makes a fault persistent — the way
+to drive a task all the way to a ``TaskFailure``.
+
+``"kill"`` faults are only meaningful under ``mode="process"``: in thread
+or serial execution ``os._exit`` would take the interpreter down with it.
+Keep persistent ``"kill"`` faults out of degradable sweeps for the same
+reason.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Sequence
+
+from .checkpoint import task_digest
+
+__all__ = ["FAULT_KINDS", "ChaosError", "ChaosWorker", "FaultSpec",
+           "plan_faults"]
+
+#: Fault kinds understood by :class:`ChaosWorker`.
+FAULT_KINDS = ("raise", "hang", "kill")
+
+
+class ChaosError(RuntimeError):
+    """The exception an injected ``"raise"`` fault throws."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: what to do, and whether it repeats."""
+
+    kind: str
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected "
+                             f"one of {FAULT_KINDS}")
+
+
+@dataclass
+class ChaosWorker:
+    """Picklable wrapper injecting planned faults around a sweep worker.
+
+    ``worker`` must itself be picklable (module-level) for process pools;
+    ``faults`` maps task digests to :class:`FaultSpec`; ``scratch_dir``
+    hosts the cross-process once-only marker files.
+    """
+
+    worker: Callable[[Any], Any]
+    faults: Dict[str, FaultSpec] = field(default_factory=dict)
+    scratch_dir: str = "."
+    hang_seconds: float = 30.0
+    exit_code: int = 17
+
+    def __call__(self, task: Any) -> Any:
+        digest = task_digest(task)
+        spec = self.faults.get(digest)
+        if spec is not None and self._arm(digest, spec):
+            if spec.kind == "raise":
+                raise ChaosError(f"injected fault for task {task!r}")
+            if spec.kind == "hang":
+                time.sleep(self.hang_seconds)
+            elif spec.kind == "kill":
+                os._exit(self.exit_code)
+        return self.worker(task)
+
+    def _arm(self, digest: str, spec: FaultSpec) -> bool:
+        """Claim the right to fire this fault (cross-process, atomic)."""
+        if not spec.once:
+            return True
+        marker = Path(self.scratch_dir) / f"chaos-{digest[:24]}.fired"
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        return True
+
+
+def plan_faults(tasks: Sequence[Any], seed: int, count: int = 3,
+                kinds: Sequence[str] = FAULT_KINDS,
+                once: bool = True) -> Dict[str, FaultSpec]:
+    """Pick ``count`` seeded task positions and assign each a fault kind.
+
+    Deterministic for a given ``(tasks, seed, count, kinds)``, so a failing
+    chaos run is reproduced by echoing its seed.  Duplicate tasks share a
+    digest and therefore a fault slot; the returned plan can be smaller
+    than ``count`` in that case.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    kinds = tuple(kinds)
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected one of "
+                             f"{FAULT_KINDS}")
+    rng = random.Random(seed)
+    tasks = list(tasks)
+    picked = sorted(rng.sample(range(len(tasks)), min(count, len(tasks))))
+    return {task_digest(tasks[index]): FaultSpec(kind=rng.choice(kinds),
+                                                 once=once)
+            for index in picked}

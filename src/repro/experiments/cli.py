@@ -20,8 +20,11 @@ regenerates; ``--csv`` switches the tabular experiments to CSV output so the
 results can be piped into other tools.  ``--engine {reference,vectorized}``
 selects the scalar reference models or the bit-exact NumPy batch engine.
 ``figure1``, ``miss-ratio``, ``replacement-study``, ``table2`` and
-``table3`` all accept ``--workers`` (fan the sweep across processes) and
-``--chunksize`` (tasks per worker dispatch); the first three additionally
+``table3`` all accept ``--workers`` (fan the sweep across processes),
+``--chunksize`` (tasks per worker dispatch) and the fault-tolerance knobs
+``--timeout``/``--retries``/``--on-error``/``--resume`` (per-dispatch
+deadlines, seeded-backoff retries, collect-instead-of-abort, and
+checkpoint/resume through a sweep journal); the first three additionally
 take ``--profile {auto,always,never}`` (route profilable conventional-LRU
 rows through the one-pass multi-configuration profiler — bit-exact in every
 mode).  ``--replacement {lru,fifo,random,plru}`` selects
@@ -36,7 +39,7 @@ import argparse
 from typing import List, Optional
 
 from ..cache.replacement import REPLACEMENT_POLICIES
-from ..engine import ENGINES, PROFILE_MODES
+from ..engine import ENGINES, ON_ERROR_POLICIES, PROFILE_MODES
 from .column_assoc_study import run_column_assoc_study
 from .critical_path import run_critical_path_study
 from .figure1 import run_figure1
@@ -47,6 +50,40 @@ from .table2 import miss_ratio_std_dev, run_table2
 from .table3 import run_table3
 
 __all__ = ["main", "build_parser"]
+
+
+def _nonnegative_int(text: str) -> int:
+    """Argparse type: an integer >= 0 (rejected in the parser, not deep in a
+    driver — a negative ``--workers`` used to silently run serially)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a finite float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,11 +111,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_sweep_options(parser_: argparse.ArgumentParser,
                           unit: str = "tasks") -> None:
-        parser_.add_argument("--workers", type=int, default=None,
+        parser_.add_argument("--workers", type=_nonnegative_int, default=None,
                              help="fan the sweep across this many processes")
-        parser_.add_argument("--chunksize", type=int, default=None,
+        parser_.add_argument("--chunksize", type=_positive_int, default=None,
                              help=f"{unit} per worker dispatch (amortises "
                                   "process-pool overhead on tiny tasks)")
+        parser_.add_argument("--timeout", type=_positive_float, default=None,
+                             help="per-dispatch timeout in seconds (pool "
+                                  "modes; a hung worker is killed and the "
+                                  "task retried)")
+        parser_.add_argument("--retries", type=_nonnegative_int, default=0,
+                             help="failed attempts a task may retry "
+                                  "(exponential backoff with seeded jitter)")
+        parser_.add_argument("--on-error", dest="on_error",
+                             choices=list(ON_ERROR_POLICIES), default="raise",
+                             help="once a task exhausts its retries: abort "
+                                  "the sweep, or collect a structured "
+                                  "TaskFailure and finish the rest")
+        parser_.add_argument("--resume", default=None, metavar="JOURNAL",
+                             help="sweep-journal path: completed tasks are "
+                                  "appended as they finish and pre-loaded "
+                                  "on the next run, so a killed sweep "
+                                  "restarts from its last completed task")
 
     def add_profile(parser_: argparse.ArgumentParser) -> None:
         parser_.add_argument("--profile", choices=list(PROFILE_MODES),
@@ -144,20 +198,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_experiment(args: argparse.Namespace) -> str:
+    def fault_options(args_: argparse.Namespace) -> dict:
+        return {"timeout": args_.timeout, "retries": args_.retries,
+                "on_error": args_.on_error, "resume": args_.resume}
+
     if args.experiment == "figure1":
         result = run_figure1(max_stride=args.max_stride, sweeps=args.sweeps,
                              stride_step=args.stride_step,
                              engine=args.engine, workers=args.workers,
                              chunksize=args.chunksize,
                              replacement=args.replacement,
-                             profile=args.profile)
+                             profile=args.profile, **fault_options(args))
         return result.render()
     if args.experiment == "table2":
         result = run_table2(programs=args.programs or None,
                             instructions=args.instructions,
                             engine=args.engine,
                             workers=args.workers,
-                            chunksize=args.chunksize)
+                            chunksize=args.chunksize, **fault_options(args))
         if args.csv:
             return (result.ipc_table().render_csv()
                     + "\n" + result.miss_ratio_table().render_csv())
@@ -169,7 +227,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
         return run_table3(instructions=args.instructions,
                           engine=args.engine,
                           workers=args.workers,
-                          chunksize=args.chunksize).render()
+                          chunksize=args.chunksize,
+                          **fault_options(args)).render()
     if args.experiment == "miss-ratio":
         result = run_miss_ratio_study(programs=args.programs or None,
                                       accesses=args.accesses,
@@ -177,7 +236,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
                                       replacement=args.replacement,
                                       workers=args.workers,
                                       chunksize=args.chunksize,
-                                      profile=args.profile)
+                                      profile=args.profile,
+                                      **fault_options(args))
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "replacement-study":
         result = run_replacement_study(programs=args.programs or None,
@@ -185,7 +245,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
                                        engine=args.engine,
                                        workers=args.workers,
                                        chunksize=args.chunksize,
-                                       profile=args.profile)
+                                       profile=args.profile,
+                                       **fault_options(args))
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "holes":
         result = run_holes_study(l2_sizes=[kb * 1024 for kb in args.l2_kilobytes],

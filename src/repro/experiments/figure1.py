@@ -27,6 +27,7 @@ across a process pool via :func:`repro.engine.sweep.run_sweep`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +39,7 @@ from ..engine import (
     AddressBatch,
     BatchSetAssociativeCache,
     MultiConfigPlan,
+    TaskFailure,
     check_engine,
     check_profile_mode,
     chunk_tasks,
@@ -58,6 +60,9 @@ class Figure1Result:
     strides: int
     histograms: Dict[str, MissRatioHistogram] = field(default_factory=dict)
     miss_ratios: Dict[str, List[float]] = field(default_factory=dict)
+    #: Dispatches that exhausted their retries under ``on_error="collect"``;
+    #: their strides carry ``nan`` ratios and are absent from the histograms.
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def pathological_fraction(self, scheme: str, threshold: float = 0.5) -> float:
         """Fraction of strides whose miss ratio exceeds ``threshold``."""
@@ -163,7 +168,11 @@ def run_figure1(max_stride: int = 4096,
                 chunksize: Optional[int] = None,
                 address_bits: int = 19,
                 replacement: Optional[str] = None,
-                profile: str = "auto") -> Figure1Result:
+                profile: str = "auto",
+                timeout: Optional[float] = None,
+                retries: int = 0,
+                on_error: str = "raise",
+                resume: Optional[str] = None) -> Figure1Result:
     """Run the Figure 1 stride sweep.
 
     Parameters
@@ -195,6 +204,13 @@ def run_figure1(max_stride: int = 4096,
         :class:`~repro.engine.multiconfig.MultiConfigPlan`); every stride is
         its own trace, so only ``"always"`` moves the conventional LRU rows
         onto the one-pass profiler.
+    timeout, retries, on_error, resume:
+        Fault-tolerance knobs forwarded to
+        :func:`repro.engine.sweep.run_sweep`.  The dispatched work item is a
+        chunk of up to ``chunksize`` strides, so ``timeout`` bounds one such
+        chunk.  Under ``on_error="collect"`` a failed chunk lands in
+        ``result.failures`` and its strides read as ``nan``.  ``resume``
+        names a sweep journal that is both appended to and resumed from.
     """
     if max_stride < 2:
         raise ValueError("max_stride must be at least 2")
@@ -220,14 +236,23 @@ def run_figure1(max_stride: int = 4096,
         ]
         chunks.extend(chunk_tasks(scheme_tasks, chunksize))
     chunked_ratios = run_sweep(_stride_chunk_task, chunks, workers=workers,
-                               chunksize=1)
-    ratios_flat = [ratio for chunk in chunked_ratios for ratio in chunk]
+                               chunksize=1, timeout=timeout, retries=retries,
+                               on_error=on_error, journal=resume,
+                               resume=resume)
+    ratios_flat: List[float] = []
+    for chunk, outcome in zip(chunks, chunked_ratios):
+        if isinstance(outcome, TaskFailure):
+            result.failures.append(outcome)
+            ratios_flat.extend([float("nan")] * len(chunk))
+        else:
+            ratios_flat.extend(outcome)
     per_scheme = len(strides)
     for position, scheme in enumerate(schemes):
         histogram = MissRatioHistogram(label=scheme)
         ratios = ratios_flat[position * per_scheme:(position + 1) * per_scheme]
         for ratio in ratios:
-            histogram.add(ratio)
+            if not math.isnan(ratio):
+                histogram.add(ratio)
         result.histograms[scheme] = histogram
         result.miss_ratios[scheme] = list(ratios)
     return result

@@ -45,6 +45,7 @@ from ..engine import (
     BatchSetAssociativeCache,
     BatchVictimCache,
     MultiConfigPlan,
+    TaskFailure,
     check_engine,
     check_profile_mode,
     run_sweep,
@@ -67,6 +68,9 @@ class MissRatioStudyResult:
 
     accesses_per_program: int
     miss_ratios: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Programs that exhausted their retries under ``on_error="collect"``;
+    #: they are excluded from the table and the averages.
+    failures: List[TaskFailure] = field(default_factory=list)
 
     @property
     def programs(self) -> List[str]:
@@ -258,7 +262,11 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
                          replacement: Optional[str] = None,
                          workers: Optional[int] = None,
                          chunksize: Optional[int] = None,
-                         profile: str = "auto") -> MissRatioStudyResult:
+                         profile: str = "auto",
+                         timeout: Optional[float] = None,
+                         retries: int = 0,
+                         on_error: str = "raise",
+                         resume: Optional[str] = None) -> MissRatioStudyResult:
     """Replay the workload suite through every organisation and collect miss ratios.
 
     ``engine="vectorized"`` materialises each program's trace once and runs
@@ -275,6 +283,12 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
     serially.  ``profile`` selects the multi-configuration profiling policy
     of the vectorized path (``auto``/``always``/``never`` — bit-exact in
     every mode).
+
+    ``timeout`` (seconds per program), ``retries``, ``on_error`` and
+    ``resume`` (sweep-journal path, appended to and resumed from) are
+    forwarded to :func:`repro.engine.sweep.run_sweep`; under
+    ``on_error="collect"`` a failed program lands in ``result.failures``
+    instead of the table.
     """
     if accesses < 1_000:
         raise ValueError("accesses should be at least 1000 for stable ratios")
@@ -296,7 +310,12 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
         for name in program_list
     ]
     per_program = run_sweep(_study_program_task, tasks, workers=workers,
-                            chunksize=chunksize)
+                            chunksize=chunksize, timeout=timeout,
+                            retries=retries, on_error=on_error,
+                            journal=resume, resume=resume)
     for name, per_org in zip(program_list, per_program):
+        if isinstance(per_org, TaskFailure):
+            result.failures.append(per_org)
+            continue
         result.miss_ratios[name] = per_org
     return result

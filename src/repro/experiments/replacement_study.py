@@ -40,6 +40,7 @@ from ..engine import (
     ENGINE_VECTORIZED,
     AddressBatch,
     MultiConfigPlan,
+    TaskFailure,
     check_engine,
     check_profile_mode,
     run_sweep,
@@ -72,6 +73,9 @@ class ReplacementStudyResult:
     policies: List[str] = field(default_factory=list)
     #: ``miss_ratios[organisation][policy]`` -> suite-average percent.
     miss_ratios: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Programs that exhausted their retries under ``on_error="collect"``;
+    #: the averages cover the surviving programs only.
+    failures: List[TaskFailure] = field(default_factory=list)
 
     @property
     def organisations(self) -> List[str]:
@@ -168,6 +172,10 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
                           workers: Optional[int] = None,
                           chunksize: Optional[int] = None,
                           profile: str = "auto",
+                          timeout: Optional[float] = None,
+                          retries: int = 0,
+                          on_error: str = "raise",
+                          resume: Optional[str] = None,
                           ) -> ReplacementStudyResult:
     """Sweep replacement policy x organisation over the workload suite.
 
@@ -179,6 +187,10 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
     worker reuses its materialised traces); ``profile`` selects the
     multi-configuration profiling policy of the vectorized LRU rows
     (``auto``/``always``/``never`` — bit-exact in every mode).
+    ``timeout``/``retries``/``on_error``/``resume`` are forwarded to
+    :func:`repro.engine.sweep.run_sweep`; under ``on_error="collect"`` a
+    failed program lands in ``result.failures`` and the averages cover the
+    surviving programs.
     """
     if accesses < 1_000:
         raise ValueError("accesses should be at least 1000 for stable ratios")
@@ -201,13 +213,18 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
         for name in program_list
     ]
     per_program = run_sweep(_program_policy_ratios, tasks, workers=workers,
-                            chunksize=chunksize)
+                            chunksize=chunksize, timeout=timeout,
+                            retries=retries, on_error=on_error,
+                            journal=resume, resume=resume)
     # Accumulate per-program ratios, then average per (organisation, policy).
     per_pair: Dict[str, Dict[str, List[float]]] = {
         label: {policy: [] for policy in policy_list}
         for label, _, _ in _STUDY_ORGANISATIONS
     }
     for ratios in per_program:
+        if isinstance(ratios, TaskFailure):
+            result.failures.append(ratios)
+            continue
         for label, _, _ in _STUDY_ORGANISATIONS:
             for policy in policy_list:
                 per_pair[label][policy].append(ratios[label][policy])

@@ -34,7 +34,7 @@ from ..analysis.metrics import arithmetic_mean, geometric_mean, std_deviation
 from ..analysis.reporting import TableBuilder
 from ..cpu.processor import OutOfOrderProcessor, ProcessorConfig, SimulationResult
 from ..cpu.workloads import build_program, program_names
-from ..engine.sweep import run_sweep
+from ..engine.sweep import TaskFailure, run_sweep
 from ..trace.workloads import FP_PROGRAMS, INTEGER_PROGRAMS
 from .config import TABLE2_CONFIGS
 
@@ -50,6 +50,9 @@ class Table2Result:
 
     instructions_per_program: int
     results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+    #: Programs that exhausted their retries under ``on_error="collect"``;
+    #: they are absent from the tables and the suite averages.
+    failures: List[TaskFailure] = field(default_factory=list)
 
     @property
     def programs(self) -> List[str]:
@@ -140,7 +143,11 @@ def run_table2(programs: Optional[Sequence[str]] = None,
                seed: int = 2027,
                engine: str = "reference",
                workers: Optional[int] = None,
-               chunksize: Optional[int] = None) -> Table2Result:
+               chunksize: Optional[int] = None,
+               timeout: Optional[float] = None,
+               retries: int = 0,
+               on_error: str = "raise",
+               resume: Optional[str] = None) -> Table2Result:
     """Simulate every (program, configuration) pair of Table 2.
 
     ``instructions`` scales the per-program run length; the paper simulates
@@ -160,6 +167,12 @@ def run_table2(programs: Optional[Sequence[str]] = None,
     simulations, so the results are identical to the serial run in any
     ``workers``/``chunksize`` combination.  ``chunksize`` groups programs
     per worker dispatch.
+
+    ``timeout`` (seconds per program), ``retries``, ``on_error`` and
+    ``resume`` (sweep-journal path, appended to and resumed from) are
+    forwarded to :func:`repro.engine.sweep.run_sweep`; under
+    ``on_error="collect"`` a failed program lands in ``result.failures``
+    instead of the tables.
     """
     if instructions < 1_000:
         raise ValueError("instructions should be at least 1000 for stable results")
@@ -177,9 +190,14 @@ def run_table2(programs: Optional[Sequence[str]] = None,
         for name in program_list
     ]
     per_program = run_sweep(_table2_program_task, tasks, workers=workers,
-                            chunksize=chunksize)
+                            chunksize=chunksize, timeout=timeout,
+                            retries=retries, on_error=on_error,
+                            journal=resume, resume=resume)
     result = Table2Result(instructions_per_program=instructions)
     for name, per_config in zip(program_list, per_program):
+        if isinstance(per_config, TaskFailure):
+            result.failures.append(per_config)
+            continue
         result.results[name] = per_config
     return result
 

@@ -122,7 +122,11 @@ def run_table3(instructions: int = 30_000,
                seed: int = 2027,
                engine: str = "reference",
                workers: Optional[int] = None,
-               chunksize: Optional[int] = None) -> Table3Result:
+               chunksize: Optional[int] = None,
+               timeout: Optional[float] = None,
+               retries: int = 0,
+               on_error: str = "raise",
+               resume: Optional[str] = None) -> Table3Result:
     """Run (or reuse) the underlying simulations and build the Table 3 view.
 
     When ``table2_result`` is provided it must contain at least the three
@@ -130,10 +134,13 @@ def run_table3(instructions: int = 30_000,
     is run first.  ``engine`` is forwarded to :func:`run_table2` (the
     vectorized engine accelerates the I-Poly index computation bit-exactly),
     as are ``workers`` and ``chunksize`` (per-program process-pool fan-out
-    of the underlying sweep — results identical to the serial run).
+    of the underlying sweep — results identical to the serial run) and the
+    fault-tolerance knobs ``timeout``/``retries``/``on_error``/``resume``.
     """
     if table2_result is None:
         table2_result = run_table2(instructions=instructions, seed=seed,
                                    engine=engine, workers=workers,
-                                   chunksize=chunksize)
+                                   chunksize=chunksize, timeout=timeout,
+                                   retries=retries, on_error=on_error,
+                                   resume=resume)
     return Table3Result(table2=table2_result)

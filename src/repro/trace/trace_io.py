@@ -9,7 +9,11 @@ Two formats are supported:
   traces, so experiments that replay the same trace across many cache
   configurations do not pay generator cost each time.
 
-Both round-trip exactly through :class:`~repro.trace.record.MemoryAccess`.
+Both round-trip exactly through :class:`~repro.trace.record.MemoryAccess`,
+and both readers validate what they parse — bad magic, truncated records,
+non-hex fields, zero/negative sizes and corrupt flag bytes are reported
+with ``path:line`` (text) or record/byte-offset (binary) precision instead
+of surfacing as ``struct.error`` or silently producing garbage accesses.
 """
 
 from __future__ import annotations
@@ -55,12 +59,25 @@ def read_text_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
             parts = line.split()
             if len(parts) != 4 or parts[0] not in ("R", "W"):
                 raise ValueError(f"{path}:{line_number}: malformed record {line!r}")
-            yield MemoryAccess(
-                address=int(parts[1], 16),
-                is_write=parts[0] == "W",
-                pc=int(parts[2], 16),
-                size=int(parts[3]),
-            )
+            try:
+                address = int(parts[1], 16)
+                pc = int(parts[2], 16)
+            except ValueError:
+                raise ValueError(f"{path}:{line_number}: non-hex address/pc "
+                                 f"field in {line!r}") from None
+            try:
+                size = int(parts[3], 10)
+            except ValueError:
+                raise ValueError(f"{path}:{line_number}: non-integer size "
+                                 f"field in {line!r}") from None
+            if address < 0 or pc < 0:
+                raise ValueError(f"{path}:{line_number}: negative address/pc "
+                                 f"in {line!r}")
+            if size <= 0:
+                raise ValueError(f"{path}:{line_number}: size must be "
+                                 f"positive, got {size}")
+            yield MemoryAccess(address=address, is_write=parts[0] == "W",
+                               pc=pc, size=size)
 
 
 def write_binary_trace(path: Union[str, Path], trace: Iterable[MemoryAccess]) -> int:
@@ -70,8 +87,14 @@ def write_binary_trace(path: Union[str, Path], trace: Iterable[MemoryAccess]) ->
     with path.open("wb") as handle:
         handle.write(_BINARY_MAGIC)
         for access in trace:
-            handle.write(_RECORD.pack(access.address, access.pc, access.size,
-                                      1 if access.is_write else 0))
+            try:
+                record = _RECORD.pack(access.address, access.pc, access.size,
+                                      1 if access.is_write else 0)
+            except struct.error as exc:
+                raise ValueError(
+                    f"{path}: record {count} does not fit the binary format "
+                    f"(address/pc are u64, size is u32): {exc}") from None
+            handle.write(record)
             count += 1
     return count
 
@@ -81,14 +104,33 @@ def read_binary_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
     path = Path(path)
     with path.open("rb") as handle:
         magic = handle.read(len(_BINARY_MAGIC))
+        if len(magic) < len(_BINARY_MAGIC):
+            raise ValueError(f"{path}: truncated header ({len(magic)} of "
+                             f"{len(_BINARY_MAGIC)} magic bytes) — not a "
+                             "repro binary trace")
         if magic != _BINARY_MAGIC:
             raise ValueError(f"{path} is not a repro binary trace (bad magic)")
+        offset = len(_BINARY_MAGIC)
+        record_index = 0
         while True:
             raw = handle.read(_RECORD.size)
             if not raw:
                 break
             if len(raw) != _RECORD.size:
-                raise ValueError(f"{path}: truncated record at end of file")
+                raise ValueError(
+                    f"{path}: truncated record {record_index} at byte offset "
+                    f"{offset} ({len(raw)} of {_RECORD.size} bytes)")
             address, pc, size, is_write = _RECORD.unpack(raw)
+            where = f"{path}: record {record_index} at byte offset {offset}"
+            if size == 0:
+                raise ValueError(f"{where}: size must be positive, got 0")
+            if is_write not in (0, 1):
+                raise ValueError(f"{where}: corrupt write flag "
+                                 f"{is_write:#04x} (expected 0 or 1)")
+            if raw[-3:] != b"\x00\x00\x00":
+                raise ValueError(f"{where}: corrupt padding bytes "
+                                 f"{raw[-3:]!r} (expected zeros)")
             yield MemoryAccess(address=address, is_write=bool(is_write),
                                pc=pc, size=size)
+            offset += _RECORD.size
+            record_index += 1

@@ -42,6 +42,44 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["miss-ratio", "--profile", "sometimes"])
 
+    @pytest.mark.parametrize("command", ["figure1", "miss-ratio",
+                                         "replacement-study", "table2",
+                                         "table3"])
+    def test_fault_tolerance_options_parity(self, command):
+        """--timeout/--retries/--on-error/--resume exist on every sweeping
+        command and default to off."""
+        parser = build_parser()
+        defaults = parser.parse_args([command])
+        assert defaults.timeout is None
+        assert defaults.retries == 0
+        assert defaults.on_error == "raise"
+        assert defaults.resume is None
+        args = parser.parse_args(
+            [command, "--timeout", "2.5", "--retries", "3",
+             "--on-error", "collect", "--resume", "sweep.jsonl"])
+        assert args.timeout == 2.5
+        assert args.retries == 3
+        assert args.on_error == "collect"
+        assert args.resume == "sweep.jsonl"
+
+    @pytest.mark.parametrize("argv", [
+        ["figure1", "--workers", "-1"],
+        ["miss-ratio", "--workers", "-3"],
+        ["figure1", "--chunksize", "0"],
+        ["table2", "--chunksize", "-2"],
+        ["miss-ratio", "--workers", "two"],
+        ["figure1", "--retries", "-1"],
+        ["figure1", "--timeout", "0"],
+        ["figure1", "--timeout", "-0.5"],
+        ["table3", "--on-error", "explode"],
+    ])
+    def test_bad_sweep_values_rejected_at_parse_time(self, argv, capsys):
+        """Invalid sweep/fault values die in argparse (clear usage error),
+        never deep inside a driver."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert argv[1] in capsys.readouterr().err  # error names the flag
+
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

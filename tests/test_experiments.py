@@ -164,16 +164,20 @@ class TestSweepInitializer:
         assert results == [x * 2 for x in range(8)]
         assert 1 <= len(seen) <= 2
 
-    def test_serial_fallback_when_pool_cannot_spawn(self, monkeypatch):
+    def test_serial_fallback_when_no_pool_can_spawn(self, monkeypatch):
         """Regression: the degrade-to-serial path must still run the
-        initializer in-process and produce every result."""
+        initializer in-process (exactly once) and produce every result.
+        Both pool flavours are blocked so the process -> thread -> serial
+        chain lands on serial."""
         import concurrent.futures
 
         class BrokenExecutor:
             def __init__(self, *args, **kwargs):
-                raise OSError("no process spawning in this sandbox")
+                raise OSError("no pool spawning in this sandbox")
 
         monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            BrokenExecutor)
+        monkeypatch.setattr(concurrent.futures, "ThreadPoolExecutor",
                             BrokenExecutor)
         calls = []
         results = run_sweep(lambda x: x * x, [2, 3], workers=4,
@@ -187,11 +191,108 @@ class TestSweepInitializer:
 
         class BrokenExecutor:
             def __init__(self, *args, **kwargs):
+                raise OSError("no pool spawning in this sandbox")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            BrokenExecutor)
+        monkeypatch.setattr(concurrent.futures, "ThreadPoolExecutor",
+                            BrokenExecutor)
+        assert run_sweep(lambda x: -x, [1, 2], workers=3) == [-1, -2]
+
+    def test_process_spawn_failure_degrades_to_thread_first(self, monkeypatch):
+        """Process-pool spawn failure should try threads before giving up
+        on parallelism entirely."""
+        import concurrent.futures
+        import threading
+
+        class BrokenExecutor:
+            def __init__(self, *args, **kwargs):
                 raise OSError("no process spawning in this sandbox")
 
         monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
                             BrokenExecutor)
-        assert run_sweep(lambda x: -x, [1, 2], workers=3) == [-1, -2]
+        main_thread_tasks = []
+
+        def worker(task):
+            if threading.current_thread() is threading.main_thread():
+                main_thread_tasks.append(task)
+            return task + 10
+
+        results = run_sweep(worker, [1, 2, 3, 4], workers=2, mode="process")
+        assert results == [11, 12, 13, 14]
+        assert main_thread_tasks == []  # ran on the thread pool, not serially
+
+
+class TestDriverFaultWiring:
+    """The fault-tolerance knobs as wired through the experiment drivers."""
+
+    def test_figure1_collect_failure_yields_nan_strides(self, monkeypatch):
+        """A collected chunk failure lands in ``result.failures``, its
+        strides read ``nan``, and the histograms skip them instead of
+        choking on an out-of-range value."""
+        import math
+
+        import repro.experiments.figure1 as figure1_module
+        from repro.engine.sweep import TaskFailure
+        from repro.engine.sweep import run_sweep as real_run_sweep
+
+        def sabotaged_run_sweep(worker, tasks, **kwargs):
+            results = real_run_sweep(worker, tasks, **kwargs)
+            results[-1] = TaskFailure(task=repr(tasks[-1]),
+                                      error_type="ChaosError",
+                                      message="injected", attempts=3,
+                                      mode="process")
+            return results
+
+        monkeypatch.setattr(figure1_module, "run_sweep", sabotaged_run_sweep)
+        result = run_figure1(max_stride=33, sweeps=4, chunksize=4,
+                             on_error="collect")
+        assert len(result.failures) == 1
+        assert result.failures[0].error_type == "ChaosError"
+        last_scheme = list(result.miss_ratios)[-1]
+        assert any(math.isnan(r) for r in result.miss_ratios[last_scheme])
+        # The failed strides are absent from the histogram, not mis-binned.
+        assert result.histograms[last_scheme].total < result.strides
+        assert "pathological" in result.render()
+
+    def test_miss_ratio_study_resume_skips_completed_programs(
+            self, tmp_path, monkeypatch):
+        """A resumed study must serve journalled programs without
+        re-simulating them."""
+        import repro.experiments.miss_ratio_study as study_module
+
+        journal = tmp_path / "study.jsonl"
+        programs = ["compress", "tomcatv"]
+        first = run_miss_ratio_study(programs=programs, accesses=2_000,
+                                     resume=str(journal))
+        def poisoned(task):
+            raise AssertionError(f"journalled program re-executed: {task!r}")
+
+        monkeypatch.setattr(study_module, "_study_program_task", poisoned)
+        resumed = run_miss_ratio_study(programs=programs, accesses=2_000,
+                                       resume=str(journal))
+        assert resumed.miss_ratios == first.miss_ratios
+        assert not resumed.failures
+
+    def test_replacement_study_collects_failures(self, monkeypatch):
+        import repro.experiments.replacement_study as repl_module
+        from repro.engine.sweep import TaskFailure
+        from repro.engine.sweep import run_sweep as real_run_sweep
+
+        def sabotaged_run_sweep(worker, tasks, **kwargs):
+            results = real_run_sweep(worker, tasks, **kwargs)
+            results[0] = TaskFailure(task=repr(tasks[0]),
+                                     error_type="TimeoutError",
+                                     message="injected", attempts=1,
+                                     mode="process")
+            return results
+
+        monkeypatch.setattr(repl_module, "run_sweep", sabotaged_run_sweep)
+        result = run_replacement_study(programs=["compress", "tomcatv"],
+                                       accesses=2_000, on_error="collect")
+        assert len(result.failures) == 1
+        # Averages still render from the surviving program.
+        assert result.render()
 
 
 class TestMissRatioStudy:

@@ -379,6 +379,70 @@ class TestDerivedArrayMemos:
         assert memo_info()["blocks"]["nbytes"] <= _BLOCKS.byte_limit
 
 
+class TestBoundedMemoStats:
+    def test_stats_reports_every_counter(self):
+        from repro.core.memo_util import BoundedMemo
+
+        memo = BoundedMemo(limit=2, byte_limit=64, nbytes_of=len)
+        memo.get(("a",), lambda: b"x" * 8)           # miss
+        memo.get(("a",), lambda: b"x" * 8)           # hit
+        memo.get(("big",), lambda: b"x" * 40)        # oversize bypass
+        memo.get(("b",), lambda: b"y" * 8)           # miss
+        memo.get(("c",), lambda: b"z" * 8)           # miss -> evicts ("a",)
+        stats = memo.stats()
+        assert stats == {"entries": 2, "hits": 1, "misses": 4,
+                         "evictions": 1, "bypasses": 1,
+                         "limit": 2, "byte_limit": 64, "nbytes": 16}
+        assert memo.info() == stats  # the historical name stays an alias
+        memo.clear()
+        cleared = memo.stats()
+        assert cleared["entries"] == cleared["nbytes"] == 0
+        assert cleared["hits"] == cleared["misses"] == 0
+        assert cleared["evictions"] == cleared["bypasses"] == 0
+
+    def test_stats_consistent_under_thread_hammering(self):
+        """Many threads hammering a tiny memo: the counters must add up and
+        the bounds must hold at every snapshot."""
+        import threading
+
+        from repro.core.memo_util import BoundedMemo
+
+        memo = BoundedMemo(limit=4, byte_limit=256, nbytes_of=len)
+        gets_per_thread = 400
+        num_threads = 8
+        start = threading.Barrier(num_threads)
+        errors = []
+
+        def hammer(thread_index):
+            try:
+                start.wait()
+                for step in range(gets_per_thread):
+                    key = ((thread_index + step) % 10,)
+                    oversized = key[0] == 9
+                    payload = b"v" * (200 if oversized else 16)
+                    value = memo.get(key, lambda p=payload: p)
+                    assert value == payload
+                    snapshot = memo.stats()
+                    assert snapshot["entries"] <= snapshot["limit"]
+                    assert snapshot["nbytes"] <= snapshot["byte_limit"]
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(index,))
+                   for index in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = memo.stats()
+        assert stats["hits"] + stats["misses"] == gets_per_thread * num_threads
+        assert stats["bypasses"] >= 1
+        assert stats["evictions"] >= 1
+        assert stats["entries"] == len(memo)
+        assert stats["nbytes"] == memo.nbytes <= memo.byte_limit
+
+
 class TestEndToEndMemoisation:
     def test_repeated_vectorized_study_hits_the_caches(self):
         from repro.experiments.replacement_study import run_replacement_study

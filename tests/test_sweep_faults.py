@@ -1,0 +1,375 @@
+"""Fault-injection suite for the resilient sweep executor.
+
+Every test drives ``run_sweep`` through a seeded :class:`ChaosWorker`
+(raise / hang-past-timeout / ``os._exit`` worker kill) and asserts the
+recovered sweep is bit-exact with a fault-free serial run, that collected
+failures are structured, and that journalled (completed) tasks are never
+re-executed on resume.
+
+The chaos seed defaults to a fixed value for deterministic local runs; the
+nightly ``sweep-chaos`` CI job injects a fresh ``REPRO_CHAOS_SEED`` per run
+(echoed in the job log) and uploads the sweep journals on failure
+(``REPRO_CHAOS_ARTIFACT_DIR``).
+"""
+
+import os
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.engine.checkpoint import SweepJournal, task_digest
+from repro.engine.faults import (
+    ChaosError,
+    ChaosWorker,
+    FaultSpec,
+    plan_faults,
+)
+from repro.engine.sweep import (
+    SweepError,
+    TaskFailure,
+    backoff_delays,
+    run_sweep,
+)
+
+#: Fresh per nightly-CI run; fixed for deterministic local/tier-1 runs.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20260808"))
+
+
+def _tasks(count, log_path=""):
+    """Tasks carry their own execution-log path so pool workers can report."""
+    return [(index, str(log_path)) for index in range(count)]
+
+
+def _square_task(task):
+    """Module-level sweep worker (picklable); logs each execution."""
+    index, log_path = task
+    if log_path:
+        # O_APPEND keeps concurrent small writes whole across processes.
+        with open(log_path, "a", encoding="ascii") as handle:
+            handle.write(f"{index}\n")
+    return index * index
+
+
+def _poison_task(task):
+    raise AssertionError(
+        f"journalled task {task!r} must not be re-executed on resume")
+
+
+def _read_log(log_path):
+    text = Path(log_path).read_text(encoding="ascii")
+    return [int(line) for line in text.splitlines()]
+
+
+@pytest.fixture
+def journal_dir(tmp_path):
+    """Journal location: the CI artifact dir when set, else tmp_path."""
+    env = os.environ.get("REPRO_CHAOS_ARTIFACT_DIR")
+    if env:
+        path = Path(env) / tmp_path.name
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return tmp_path
+
+
+class TestBackoff:
+    def test_schedule_is_deterministic_per_seed(self):
+        first = backoff_delays(5, 0.1, seed=CHAOS_SEED)
+        again = backoff_delays(5, 0.1, seed=CHAOS_SEED)
+        other = backoff_delays(5, 0.1, seed=CHAOS_SEED + 1)
+        assert first == again
+        assert first != other
+
+    def test_exponential_envelope_with_jitter_and_cap(self):
+        delays = backoff_delays(6, 0.1, seed=3, cap=1.5)
+        for position, delay in enumerate(delays):
+            assert delay <= 1.5
+            assert delay >= min(1.5, 0.1 * (2 ** position) * 0.5)
+            assert delay <= 0.1 * (2 ** position) * 1.5
+
+
+class TestInjectedRaises:
+    def test_process_pool_retries_to_bit_exact(self, tmp_path):
+        tasks = _tasks(24)
+        faults = plan_faults(tasks, CHAOS_SEED, count=5, kinds=("raise",))
+        chaos = ChaosWorker(_square_task, faults, str(tmp_path))
+        results = run_sweep(chaos, tasks, workers=2, chunksize=3, retries=2,
+                            backoff_base=0.0, backoff_seed=CHAOS_SEED)
+        assert results == [_square_task(task) for task in tasks]
+
+    def test_chunk_mates_survive_a_raising_task(self, tmp_path):
+        """One bad task in a chunk must not discard its chunk-mates' work."""
+        tasks = _tasks(8, tmp_path / "log.txt")
+        bad = task_digest(tasks[3])
+        chaos = ChaosWorker(_square_task, {bad: FaultSpec("raise",
+                                                          once=False)},
+                            str(tmp_path))
+        results = run_sweep(chaos, tasks, workers=2, chunksize=4, retries=1,
+                            backoff_base=0.0, on_error="collect")
+        for index, value in enumerate(results):
+            if index == 3:
+                assert isinstance(value, TaskFailure)
+            else:
+                assert value == index * index
+        # Chunk-mates ran exactly once each despite sharing a dispatch
+        # with the persistent failure.
+        executed = _read_log(tmp_path / "log.txt")
+        assert sorted(set(executed)) == [i for i in range(8) if i != 3]
+        assert len(executed) == 7
+
+    def test_on_error_collect_slots_structured_failure(self, tmp_path):
+        tasks = _tasks(6)
+        bad = task_digest(tasks[2])
+        chaos = ChaosWorker(_square_task, {bad: FaultSpec("raise",
+                                                          once=False)},
+                            str(tmp_path))
+        results = run_sweep(chaos, tasks, mode="serial", retries=1,
+                            backoff_base=0.0, on_error="collect")
+        failure = results[2]
+        assert isinstance(failure, TaskFailure)
+        assert failure.error_type == "ChaosError"
+        assert failure.attempts == 2  # initial try + 1 retry
+        assert failure.mode == "serial"
+        assert repr(tasks[2]) == failure.task
+        assert [value for index, value in enumerate(results) if index != 2] \
+            == [index * index for index in range(6) if index != 2]
+
+    def test_on_error_raise_aborts_with_sweep_error(self, tmp_path):
+        tasks = _tasks(4)
+        bad = task_digest(tasks[1])
+        chaos = ChaosWorker(_square_task, {bad: FaultSpec("raise",
+                                                          once=False)},
+                            str(tmp_path))
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(chaos, tasks, mode="serial", retries=1,
+                      backoff_base=0.0)
+        assert excinfo.value.failure.attempts == 2
+        assert "ChaosError" in str(excinfo.value)
+
+
+class TestKilledWorkers:
+    def test_worker_kill_rebuilds_pool_bit_exact(self, tmp_path):
+        """os._exit in a worker (BrokenProcessPool) must not abort the sweep
+        or lose completed results."""
+        log = tmp_path / "log.txt"
+        tasks = _tasks(16, log)
+        faults = plan_faults(tasks, CHAOS_SEED, count=2, kinds=("kill",))
+        chaos = ChaosWorker(_square_task, faults, str(tmp_path))
+        results = run_sweep(chaos, tasks, workers=2, chunksize=1, retries=2,
+                            backoff_base=0.0)
+        assert results == [index * index for index in range(16)]
+        executed = _read_log(log)
+        # Every task ran; rework is bounded by what was in flight at each
+        # of the two pool breaks, so completed work was preserved.
+        assert sorted(set(executed)) == list(range(16))
+        assert len(executed) <= 16 + 2 * 3
+
+    def test_mixed_fault_storm_matches_serial(self, tmp_path):
+        """The acceptance scenario: seeded kills+raises mid-sweep, recovered
+        results bit-exact with the fault-free serial run."""
+        tasks = _tasks(20)
+        faults = plan_faults(tasks, CHAOS_SEED, count=4,
+                             kinds=("raise", "kill"))
+        chaos = ChaosWorker(_square_task, faults, str(tmp_path))
+        expected = [_square_task(task) for task in tasks]
+        results = run_sweep(chaos, tasks, workers=2, chunksize=2, retries=3,
+                            backoff_base=0.0, backoff_seed=CHAOS_SEED)
+        assert results == expected
+
+
+class TestHangsAndTimeouts:
+    def test_hung_worker_times_out_and_recovers(self, tmp_path):
+        tasks = _tasks(8)
+        hung = task_digest(tasks[5])
+        chaos = ChaosWorker(_square_task, {hung: FaultSpec("hang")},
+                            str(tmp_path), hang_seconds=8.0)
+        results = run_sweep(chaos, tasks, workers=2, chunksize=1, retries=1,
+                            timeout=0.75, backoff_base=0.0)
+        assert results == [index * index for index in range(8)]
+
+    def test_persistent_hang_collects_timeout_failure(self, tmp_path):
+        tasks = _tasks(6)
+        hung = task_digest(tasks[2])
+        chaos = ChaosWorker(_square_task, {hung: FaultSpec("hang",
+                                                           once=False)},
+                            str(tmp_path), hang_seconds=8.0)
+        results = run_sweep(chaos, tasks, workers=2, chunksize=1, retries=1,
+                            timeout=0.5, backoff_base=0.0,
+                            on_error="collect", max_pool_rebuilds=5)
+        failure = results[2]
+        assert isinstance(failure, TaskFailure)
+        assert failure.error_type == "TimeoutError"
+        assert failure.attempts == 2
+        assert [value for index, value in enumerate(results) if index != 2] \
+            == [index * index for index in range(6) if index != 2]
+
+
+class TestJournalAndResume:
+    def test_journal_records_every_completed_task(self, journal_dir, tmp_path):
+        journal = journal_dir / "full.jsonl"
+        tasks = _tasks(10)
+        results = run_sweep(_square_task, tasks, workers=2, chunksize=2,
+                            journal=str(journal))
+        assert results == [index * index for index in range(10)]
+        loaded = SweepJournal(journal).load()
+        assert len(loaded) == 10
+        for index, task in enumerate(tasks):
+            assert loaded[(index, task_digest(task))] == index * index
+
+    def test_resume_never_reexecutes_completed_tasks(self, journal_dir):
+        journal = journal_dir / "resume.jsonl"
+        tasks = _tasks(10)
+        first = run_sweep(_square_task, tasks, workers=2, chunksize=2,
+                          journal=str(journal))
+        # A worker that would blow up on any execution: the resumed run
+        # must serve every slot from the journal without calling it.
+        resumed = run_sweep(_poison_task, tasks, workers=2,
+                            resume=str(journal))
+        assert resumed == first
+
+    def test_partial_journal_resumes_from_last_completed(self, journal_dir,
+                                                         tmp_path):
+        full = journal_dir / "partial-src.jsonl"
+        tasks_quiet = _tasks(12)
+        run_sweep(_square_task, tasks_quiet, mode="serial",
+                  journal=str(full))
+        # Keep the header plus the first 7 records: a sweep killed mid-run.
+        partial = journal_dir / "partial.jsonl"
+        lines = full.read_text(encoding="utf-8").splitlines()
+        partial.write_text("\n".join(lines[:1 + 7]) + "\n", encoding="utf-8")
+        log = tmp_path / "log.txt"
+        tasks = _tasks(12, log)
+        # Digest covers the whole task, so the resumed task list must match
+        # the journalled one — rebuild the journal records against the
+        # logging tasks by mapping positions.
+        journal = journal_dir / "partial-live.jsonl"
+        source = SweepJournal(partial).load()
+        live = SweepJournal(journal)
+        live.ensure_header()
+        for (index, _digest), value in source.items():
+            live.append(index, task_digest(tasks[index]), value)
+        resumed = run_sweep(_square_task, tasks, workers=2, chunksize=3,
+                            journal=str(journal), resume=str(journal))
+        assert resumed == [index * index for index in range(12)]
+        # Only the 5 unjournalled tasks executed.
+        assert sorted(_read_log(log)) == list(range(7, 12))
+        # And the journal now covers the full sweep.
+        assert len(SweepJournal(journal).load()) == 12
+
+    def test_truncated_final_record_is_tolerated(self, journal_dir):
+        journal = journal_dir / "truncated.jsonl"
+        tasks = _tasks(6)
+        first = run_sweep(_square_task, tasks, mode="serial",
+                          journal=str(journal))
+        with journal.open("a", encoding="utf-8") as handle:
+            handle.write('{"index": 99, "digest": "dead')  # crash mid-append
+        resumed = run_sweep(_poison_task, tasks, mode="serial",
+                            resume=str(journal))
+        assert resumed == first
+
+    def test_corrupt_middle_record_raises_with_location(self, tmp_path):
+        journal = tmp_path / "corrupt.jsonl"
+        run_sweep(_square_task, _tasks(3), mode="serial",
+                  journal=str(journal))
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        lines[2] = '{"index": broken'
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"corrupt\.jsonl:3"):
+            SweepJournal(journal).load()
+
+    def test_resume_ignores_records_for_changed_tasks(self, tmp_path):
+        journal = tmp_path / "changed.jsonl"
+        run_sweep(_square_task, _tasks(4), mode="serial",
+                  journal=str(journal))
+        changed = [(index + 100, "") for index in range(4)]
+        results = run_sweep(_square_task, changed, mode="serial",
+                            resume=str(journal))
+        assert results == [(index + 100) ** 2 for index in range(4)]
+
+    def test_collected_failures_are_not_journalled(self, tmp_path):
+        journal = tmp_path / "failures.jsonl"
+        tasks = _tasks(5)
+        bad = task_digest(tasks[4])
+        chaos = ChaosWorker(_square_task, {bad: FaultSpec("raise",
+                                                          once=False)},
+                            str(tmp_path))
+        results = run_sweep(chaos, tasks, mode="serial", on_error="collect",
+                            journal=str(journal))
+        assert isinstance(results[4], TaskFailure)
+        assert len(SweepJournal(journal).load()) == 4
+        # The failed slot stays pending in the journal, so a resumed run
+        # (with a healthy worker) retries exactly that task.
+        healthy = run_sweep(_square_task, tasks, mode="serial",
+                            journal=str(journal), resume=str(journal))
+        assert healthy == [index * index for index in range(5)]
+
+
+_INIT_CALLS = []
+_MAIN_PID = os.getpid()
+
+
+def _main_only_initializer():
+    """Initializer that only works on the in-process serial path."""
+    if (os.getpid() != _MAIN_PID
+            or threading.current_thread() is not threading.main_thread()):
+        raise RuntimeError("initializer refuses pool workers")
+    _INIT_CALLS.append("init")
+
+
+class TestDegradeChain:
+    def test_failing_initializer_degrades_to_serial_once(self):
+        """process -> thread -> serial degradation with an initializer that
+        breaks every pool: the surviving serial path must run it exactly
+        once and still produce every result."""
+        _INIT_CALLS.clear()
+        results = run_sweep(_square_task, _tasks(5), workers=2,
+                            mode="process", initializer=_main_only_initializer)
+        assert results == [index * index for index in range(5)]
+        assert _INIT_CALLS == ["init"]
+
+
+class TestChaosPlanning:
+    def test_plan_is_deterministic_for_a_seed(self):
+        tasks = _tasks(30)
+        assert plan_faults(tasks, CHAOS_SEED, count=4) == \
+            plan_faults(tasks, CHAOS_SEED, count=4)
+        assert plan_faults(tasks, CHAOS_SEED, count=4) != \
+            plan_faults(tasks, CHAOS_SEED + 1, count=4)
+
+    def test_plan_validates_kinds(self):
+        with pytest.raises(ValueError):
+            plan_faults(_tasks(4), 1, kinds=("explode",))
+        with pytest.raises(ValueError):
+            FaultSpec("explode")
+
+    def test_once_marker_arms_exactly_once(self, tmp_path):
+        tasks = _tasks(3)
+        bad = task_digest(tasks[1])
+        chaos = ChaosWorker(_square_task, {bad: FaultSpec("raise")},
+                            str(tmp_path))
+        with pytest.raises(ChaosError):
+            chaos(tasks[1])
+        assert chaos(tasks[1]) == 1  # marker exists: runs clean
+
+
+class TestDigest:
+    def test_digest_is_stable_and_content_keyed(self):
+        assert task_digest((1, "a")) == task_digest((1, "a"))
+        assert task_digest((1, "a")) != task_digest((2, "a"))
+
+    def test_journal_pickles_non_json_results(self, tmp_path):
+        journal = SweepJournal(tmp_path / "pickle.jsonl")
+        journal.ensure_header()
+        value = {"tuple": (1, 2)}  # tuples do not survive JSON
+        journal.append(0, "d0", value)
+        journal.append(1, "d1", {"plain": [1.5, "x"]})
+        loaded = journal.load()
+        assert loaded[(0, "d0")] == {"tuple": (1, 2)}
+        assert isinstance(loaded[(0, "d0")]["tuple"], tuple)
+        assert loaded[(1, "d1")] == {"plain": [1.5, "x"]}
+
+    def test_non_journal_file_is_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"something": "else"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a repro sweep journal"):
+            SweepJournal(bogus).load()

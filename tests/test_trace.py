@@ -187,9 +187,112 @@ class TestTraceIO:
         with pytest.raises(ValueError):
             list(read_binary_trace(path))
 
+    def test_mixed_round_trip_both_formats(self, tmp_path):
+        """A varied trace survives both formats bit-exactly."""
+        trace = [MemoryAccess((1 << 48) + 64 * i, is_write=(i % 2 == 0),
+                              pc=(1 << 34) + 4 * i, size=1 + (i % 8))
+                 for i in range(50)]
+        text, binary = tmp_path / "t.txt", tmp_path / "t.bin"
+        assert write_text_trace(text, trace) == 50
+        assert write_binary_trace(binary, trace) == 50
+        assert list(read_text_trace(text)) == trace
+        assert list(read_binary_trace(binary)) == trace
+
     def test_replay_drives_a_cache(self, tmp_path):
         from repro.cache import SetAssociativeCache
         cache = SetAssociativeCache(1024, 32, 2)
         replay(iter([MemoryAccess(0), MemoryAccess(0)]), cache)
         assert cache.stats.accesses == 2
         assert cache.stats.hits == 1
+
+
+class TestTraceCorruption:
+    """The readers reject corrupt inputs with located errors instead of
+    surfacing struct noise or yielding garbage accesses."""
+
+    def test_text_non_hex_address_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("R 0x10 0x400 4\nW 0xZZ 0x404 8\n")
+        with pytest.raises(ValueError, match=r"bad\.txt:2: non-hex"):
+            list(read_text_trace(path))
+
+    def test_text_non_integer_size_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# header\nR 0x10 0x400 four\n")
+        with pytest.raises(ValueError, match=r"bad\.txt:2: non-integer size"):
+            list(read_text_trace(path))
+
+    @pytest.mark.parametrize("size", ["0", "-4"])
+    def test_text_rejects_non_positive_size(self, tmp_path, size):
+        path = tmp_path / "bad.txt"
+        path.write_text(f"R 0x10 0x400 {size}\n")
+        with pytest.raises(ValueError, match=r"bad\.txt:1: size must be"):
+            list(read_text_trace(path))
+
+    def test_text_rejects_negative_address(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("R -0x10 0x400 4\n")
+        with pytest.raises(ValueError, match=r"bad\.txt:1: negative"):
+            list(read_text_trace(path))
+
+    def test_binary_rejects_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"CACT")  # a prefix of the real magic
+        with pytest.raises(ValueError, match="truncated header"):
+            list(read_binary_trace(path))
+
+    def test_binary_rejects_truncated_record_with_offset(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        trace = [MemoryAccess(0x1000, is_write=False, pc=0x400, size=4)]
+        write_binary_trace(path, trace)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-5])  # chop the final record mid-way
+        with pytest.raises(ValueError) as excinfo:
+            list(read_binary_trace(path))
+        message = str(excinfo.value)
+        assert "truncated record 0" in message
+        assert "byte offset 8" in message
+
+    def test_binary_rejects_zero_size_record(self, tmp_path):
+        import struct
+
+        path = tmp_path / "bad.bin"
+        record = struct.pack("<QQIB3x", 0x1000, 0x400, 0, 0)
+        path.write_bytes(b"CACTR1\0\0" + record)
+        with pytest.raises(ValueError, match="size must be positive"):
+            list(read_binary_trace(path))
+
+    def test_binary_rejects_corrupt_write_flag(self, tmp_path):
+        import struct
+
+        path = tmp_path / "bad.bin"
+        record = struct.pack("<QQIB3x", 0x1000, 0x400, 4, 0x7F)
+        path.write_bytes(b"CACTR1\0\0" + record)
+        with pytest.raises(ValueError, match="corrupt write flag 0x7f"):
+            list(read_binary_trace(path))
+
+    def test_binary_rejects_nonzero_padding(self, tmp_path):
+        import struct
+
+        path = tmp_path / "bad.bin"
+        record = bytearray(struct.pack("<QQIB3x", 0x1000, 0x400, 4, 1))
+        record[-1] = 0xAB  # bit-rot in the padding bytes
+        path.write_bytes(b"CACTR1\0\0" + bytes(record))
+        with pytest.raises(ValueError, match="corrupt padding"):
+            list(read_binary_trace(path))
+
+    def test_binary_error_localises_later_records(self, tmp_path):
+        import struct
+
+        path = tmp_path / "bad.bin"
+        good = struct.pack("<QQIB3x", 0x1000, 0x400, 4, 0)
+        bad = struct.pack("<QQIB3x", 0x2000, 0x404, 0, 0)
+        path.write_bytes(b"CACTR1\0\0" + good + bad)
+        with pytest.raises(ValueError, match="record 1 at byte offset 32"):
+            list(read_binary_trace(path))
+
+    def test_binary_writer_rejects_oversized_fields(self, tmp_path):
+        path = tmp_path / "big.bin"
+        trace = [MemoryAccess(0x10, is_write=False, pc=0x400, size=1 << 40)]
+        with pytest.raises(ValueError, match="record 0 does not fit"):
+            write_binary_trace(path, trace)
