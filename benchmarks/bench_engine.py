@@ -57,8 +57,10 @@ import argparse
 import json
 import os
 import platform
+import tempfile
 import time
 
+import numpy as np
 import pytest
 
 from repro.cache.hierarchy import TwoLevelHierarchy
@@ -84,6 +86,9 @@ from repro.experiments.config import (
 from repro.memory.paging import TLB, PageTable
 from repro.memory.translation import AddressTranslator
 from repro.trace.batching import cached_strided_arrays
+from repro.trace.record import MemoryAccess
+from repro.trace.stream import iter_trace_chunks, write_trace_v2
+from repro.trace.trace_io import write_binary_trace
 
 #: The four families of Figure 1 / Table 2.
 SCHEMES = ["a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"]
@@ -434,6 +439,78 @@ def compare_lru_grid_sweep(accesses=BENCH_ENGINE_ACCESSES, check_scalar=True):
     }
 
 
+#: Minimum v2-chunked-over-v1-record throughput ratio of the trace-I/O
+#: section.  Reading packed columns straight into arrays versus parsing one
+#: 32-byte struct per access is a couple of orders of magnitude apart in
+#: practice, so 5x is a conservative regression tripwire, not a tight bound.
+REQUIRED_SPEEDUP_TRACE_IO = 5.0
+
+#: Accesses per streamed batch in the trace-I/O section.
+TRACE_IO_CHUNK = 1 << 18
+
+
+def compare_trace_io(accesses=BENCH_ENGINE_ACCESSES):
+    """Time on-disk trace ingestion: v2 mmap / v2 buffered / v1 records.
+
+    Writes the benchmark trace to a temporary directory in both formats,
+    then times three full chunked passes into :class:`AddressBatch` form:
+    the packed v2 columns via ``np.memmap``, the same file through buffered
+    reads (the bounded-RSS path the nightly streaming job uses), and the
+    v1 per-record binary format.  Every pass must reproduce the written
+    arrays exactly before its throughput is reported.
+    """
+    trace = _build_trace(accesses)
+    addresses, writes = trace.addresses, trace.is_write
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-trace-io-") as tmp:
+        v2_path = os.path.join(tmp, "trace.ctr2")
+        v1_path = os.path.join(tmp, "trace.bin")
+        write_trace_v2(v2_path, addresses, writes)
+        write_binary_trace(v1_path, (
+            MemoryAccess(address=a, is_write=w)
+            for a, w in zip(addresses.tolist(), writes.tolist())))
+
+        for label, path, use_mmap in (("v2-mmap", v2_path, True),
+                                      ("v2-read", v2_path, False),
+                                      ("v1-records", v1_path, False)):
+            start = time.perf_counter()
+            got_a, got_w, count = [], [], 0
+            for batch in iter_trace_chunks(path, chunk_size=TRACE_IO_CHUNK,
+                                           use_mmap=use_mmap):
+                got_a.append(batch.addresses)
+                got_w.append(batch.is_write)
+                count += len(batch)
+            seconds = time.perf_counter() - start
+            assert count == len(trace), f"{label}: short read"
+            assert np.array_equal(np.concatenate(got_a), addresses), (
+                f"{label}: addresses diverged from the written trace")
+            assert np.array_equal(np.concatenate(got_w), writes), (
+                f"{label}: store mask diverged from the written trace")
+            rows.append({"format": label, "accesses": count,
+                         "seconds": seconds, "aps": count / seconds,
+                         "bytes": os.path.getsize(path)})
+    v1_aps = rows[-1]["aps"]
+    for row in rows:
+        row["speedup_vs_v1"] = row["aps"] / v1_aps
+    return {"chunk_size": TRACE_IO_CHUNK, "rows": rows}
+
+
+@pytest.mark.benchmark(group="engine-trace-io")
+def test_trace_io_throughput(benchmark):
+    """Chunked v2 streaming beats per-record v1 parsing >= 5x, bit-exact."""
+    result = benchmark.pedantic(
+        lambda: compare_trace_io(BENCH_ENGINE_ACCESSES),
+        rounds=1, iterations=1)
+    by_format = {row["format"]: row for row in result["rows"]}
+    print("\ntrace-io: " + ", ".join(
+        f"{row['format']} {row['aps']:,.0f} acc/s" for row in result["rows"]))
+    if BENCH_ENGINE_ACCESSES >= MIN_ACCESSES_FOR_SPEEDUP_CHECK:
+        for label in ("v2-mmap", "v2-read"):
+            assert by_format[label]["speedup_vs_v1"] >= REQUIRED_SPEEDUP_TRACE_IO, (
+                f"{label}: only {by_format[label]['speedup_vs_v1']:.1f}x over "
+                f"v1 records (required {REQUIRED_SPEEDUP_TRACE_IO}x)")
+
+
 @pytest.mark.benchmark(group="engine-sweep")
 def test_lru_grid_profiler_throughput(benchmark):
     """The one-pass profiler beats the per-config vectorized sweep >= 5x."""
@@ -483,7 +560,7 @@ def _load_trajectory(path):
 
 
 def _write_artifact(rows, accesses, path=BENCH_ENGINE_JSON, sweep=None,
-                    smoke=False):
+                    smoke=False, trace_io=None):
     """Append this run to the machine-readable trajectory artifact."""
     if not path:
         return None
@@ -498,8 +575,10 @@ def _write_artifact(rows, accesses, path=BENCH_ENGINE_JSON, sweep=None,
         "required_speedup_lru": REQUIRED_SPEEDUP,
         "required_speedup_policy": REQUIRED_SPEEDUP_POLICY,
         "required_speedup_sweep": REQUIRED_SPEEDUP_SWEEP,
+        "required_speedup_trace_io": REQUIRED_SPEEDUP_TRACE_IO,
         "rows": rows,
         "sweep": sweep,
+        "trace_io": trace_io,
     })
     artifact = {
         "benchmark": "bench_engine",
@@ -807,7 +886,23 @@ def main(argv=None):
             f"lru-grid sweep: profiler only {sweep['speedup']:.1f}x over "
             f"per-config (required {REQUIRED_SPEEDUP_SWEEP}x)")
 
-    path = _write_artifact(rows, accesses, sweep=sweep, smoke=args.smoke)
+    # Trace-I/O section: on-disk ingestion throughput per format/read mode.
+    trace_io = compare_trace_io(accesses=accesses)
+    print(f"\ntrace-io ({trace_io['rows'][0]['accesses']:,} accesses, "
+          f"chunks of {trace_io['chunk_size']:,}):")
+    for row in trace_io["rows"]:
+        print(f"  {row['format']:10s} {row['aps']:14,.0f} acc/s "
+              f"({row['bytes'] / 1e6:6.1f} MB on disk, "
+              f"{row['speedup_vs_v1']:5.1f}x vs v1 records)")
+    if check_bounds:
+        for row in trace_io["rows"]:
+            if row["format"].startswith("v2"):
+                assert row["speedup_vs_v1"] >= REQUIRED_SPEEDUP_TRACE_IO, (
+                    f"{row['format']}: only {row['speedup_vs_v1']:.1f}x over "
+                    f"v1 records (required {REQUIRED_SPEEDUP_TRACE_IO}x)")
+
+    path = _write_artifact(rows, accesses, sweep=sweep, smoke=args.smoke,
+                           trace_io=trace_io)
     if path:
         print(f"appended run to {path}")
 

@@ -59,7 +59,9 @@ from .multiconfig import (
     PROFILE_MODES,
     MultiConfigLRUProfile,
     MultiConfigPlan,
+    MultiConfigProfileBuilder,
     ProfileCounts,
+    StackDistanceBuilder,
     StackDistanceProfile,
     check_profile_mode,
     profile_cache_clear,
@@ -128,7 +130,9 @@ __all__ = [
     "check_profile_mode",
     "ProfileCounts",
     "StackDistanceProfile",
+    "StackDistanceBuilder",
     "MultiConfigLRUProfile",
+    "MultiConfigProfileBuilder",
     "MultiConfigPlan",
     "run_lru_grid",
     "profile_cache_info",

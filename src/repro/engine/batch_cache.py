@@ -78,7 +78,7 @@ tight kernels iterate), so tasks that share one materialised trace (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -444,6 +444,22 @@ class BatchSetAssociativeCache:
         if strategy == "lru-skewed-generic":
             return self._run_skewed_kernel_generic(blocks, batch.is_write)
         return self._run_dict_kernel(blocks, batch.is_write)
+
+    def run_chunks(self, chunks: Iterable[AddressBatch]) -> int:
+        """Consume a stream of batches; returns the accesses simulated.
+
+        The chunk-consume entry point of the streaming trace layer
+        (:func:`repro.trace.stream.iter_trace_chunks`): state and statistics
+        carry across chunks exactly as across :meth:`run` calls, so a
+        chunked replay is bit-exact with one ``run()`` over the whole trace
+        — including mid-stream kernel handoffs (e.g. a cold load-only first
+        chunk on the run-collapse kernel, later chunks on the dict kernel).
+        """
+        total = 0
+        for batch in chunks:
+            self.run(batch)
+            total += len(batch)
+        return total
 
     # -- strategy 1: fully vectorized (non-skewed, <= 2 ways, loads, cold) --
 
@@ -1057,6 +1073,17 @@ class BatchColumnAssociativeCache:
         self.total_probes += probes_total
         return np.array(hits_l, dtype=bool)
 
+    def run_chunks(self, chunks: Iterable[AddressBatch]) -> int:
+        """Consume a stream of batches (see
+        :meth:`BatchSetAssociativeCache.run_chunks`); returns the accesses
+        simulated.  State, statistics and probe counters carry across
+        chunks, so chunked replay is bit-exact with a one-shot run."""
+        total = 0
+        for batch in chunks:
+            self.run(batch)
+            total += len(batch)
+        return total
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"BatchColumnAssociativeCache({self._num_frames} frames, "
                 f"{self._block_size}B blocks)")
@@ -1197,6 +1224,17 @@ class BatchVictimCache:
         if self.dispatch_strategy(batch).startswith("victim-decomposed-"):
             return run_victim_decomposed(self, blocks, batch.is_write)
         return self._run_generic_kernel(blocks, batch.is_write)
+
+    def run_chunks(self, chunks: Iterable[AddressBatch]) -> int:
+        """Consume a stream of batches (see
+        :meth:`BatchSetAssociativeCache.run_chunks`); returns the accesses
+        simulated.  Main-cache and victim-buffer state carry across chunks,
+        so chunked replay is bit-exact with a one-shot run."""
+        total = 0
+        for batch in chunks:
+            self.run(batch)
+            total += len(batch)
+        return total
 
     def _run_generic_kernel(self, blocks: np.ndarray,
                             is_write: np.ndarray) -> np.ndarray:

@@ -112,6 +112,12 @@ class SweepJournal:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
+                if line_number == 1:
+                    # The truncation escape below must never swallow the
+                    # header: a journal whose only line is garbage is not a
+                    # crashed append, it is not a journal at all.
+                    raise ValueError(
+                        f"{self.path}:1: not a repro sweep journal") from None
                 if line_number == len(lines):
                     break  # truncated final append — the rest is intact
                 raise ValueError(
@@ -129,6 +135,15 @@ class SweepJournal:
             try:
                 index = record["index"]
                 digest = record["digest"]
+                if not isinstance(index, int) or isinstance(index, bool):
+                    # A mis-typed key would silently never match any task
+                    # position on resume, so the record's work would be
+                    # redone without any hint the journal was bad.
+                    raise ValueError(
+                        f"index must be an integer, got {index!r}")
+                if not isinstance(digest, str):
+                    raise ValueError(
+                        f"digest must be a string, got {digest!r}")
                 if "pickle" in record:
                     value = pickle.loads(base64.b64decode(record["pickle"]))
                 else:

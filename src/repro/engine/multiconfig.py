@@ -70,7 +70,9 @@ __all__ = [
     "check_profile_mode",
     "ProfileCounts",
     "StackDistanceProfile",
+    "StackDistanceBuilder",
     "MultiConfigLRUProfile",
+    "MultiConfigProfileBuilder",
     "MultiConfigPlan",
     "run_lru_grid",
     "profile_cache_info",
@@ -301,18 +303,21 @@ class StackDistanceProfile:
 # part (b): per-level capped stack kernels (all-associativity readout)
 # --------------------------------------------------------------------- #
 
-def _level_pass_loads(blocks_l: list, mask: int, cap: int) -> List[int]:
+def _level_pass_loads(blocks_l: list, mask: int, cap: int,
+                      stacks: List[List[int]], hist: List[int]) -> None:
     """Capped per-set LRU stack distances of a load-only stream.
 
-    Returns ``hist`` with ``hist[d]`` = accesses whose per-set stack
-    distance is exactly ``d`` (< ``cap``); deeper reuse and first touches
+    Accumulates into ``hist`` (``hist[d]`` = accesses whose per-set stack
+    distance is exactly ``d`` (< ``cap``)); deeper reuse and first touches
     are not recorded — they miss at every associativity up to ``cap``.
     The cap is sound because the top ``w`` entries of a per-set LRU stack
     are exactly the content of a ``w``-way set (inclusion), and a block
     below the cap can only resurface at the top through its own (re-)access.
+
+    ``stacks``/``hist`` are caller-owned carried state, so the pass can be
+    fed one chunk at a time (:class:`MultiConfigProfileBuilder`) with
+    results identical to a single whole-trace call.
     """
-    stacks: List[List[int]] = [[] for _ in range(mask + 1)]
-    hist = [0] * cap
     for b in blocks_l:
         st = stacks[b & mask]
         if b in st:
@@ -324,20 +329,18 @@ def _level_pass_loads(blocks_l: list, mask: int, cap: int) -> List[int]:
             st.append(b)
             if len(st) > cap:
                 del st[0]
-    return hist
 
 
-def _level_pass_uniform(blocks_l: list, writes_l: list, mask: int,
-                        cap: int) -> Tuple[List[int], List[int]]:
+def _level_pass_uniform(blocks_l: list, writes_l: list, mask: int, cap: int,
+                        stacks: List[List[int]], hist_load: List[int],
+                        hist_store: List[int]) -> None:
     """Load/store-split capped distances under a uniform stack update.
 
     Exact for write-back/write-allocate caches, where stores allocate and
     refresh recency exactly like loads — the per-access update never
-    depends on the (configuration-specific) hit outcome.
+    depends on the (configuration-specific) hit outcome.  State is
+    caller-owned and chunk-feedable, as in :func:`_level_pass_loads`.
     """
-    stacks: List[List[int]] = [[] for _ in range(mask + 1)]
-    hist_load = [0] * cap
-    hist_store = [0] * cap
     for b, w in zip(blocks_l, writes_l):
         st = stacks[b & mask]
         if b in st:
@@ -349,11 +352,12 @@ def _level_pass_uniform(blocks_l: list, writes_l: list, mask: int,
             st.append(b)
             if len(st) > cap:
                 del st[0]
-    return hist_load, hist_store
 
 
-def _level_pass_wtna(blocks_l: list, writes_l: list, mask: int,
-                     cap: int) -> Tuple[List[int], List[int]]:
+def _level_pass_wtna(blocks_l: list, writes_l: list, mask: int, cap: int,
+                     stacks: List[List[int]], prios: List[List[int]],
+                     hist_load: List[int], hist_store: List[int],
+                     clock: int) -> int:
     """Capped *priority* stack distances under write-through/no-allocate.
 
     Stores never change any configuration's content (no allocate on miss,
@@ -366,12 +370,10 @@ def _level_pass_wtna(blocks_l: list, writes_l: list, mask: int,
     that depth evicts its least-recently-touched line).  Stacks hold the
     most recent ``cap`` *positions* (top at index 0), with per-entry
     last-touch priorities alongside.
+
+    State (stacks, priorities, the returned clock) is caller-owned and
+    chunk-feedable, as in :func:`_level_pass_loads`.
     """
-    stacks: List[List[int]] = [[] for _ in range(mask + 1)]
-    prios: List[List[int]] = [[] for _ in range(mask + 1)]
-    hist_load = [0] * cap
-    hist_store = [0] * cap
-    clock = 0
     for b, w in zip(blocks_l, writes_l):
         clock += 1
         s = b & mask
@@ -421,7 +423,7 @@ def _level_pass_wtna(blocks_l: list, writes_l: list, mask: int,
             pr.append(vp)
         st[0] = b
         pr[0] = clock
-    return hist_load, hist_store
+    return clock
 
 
 #: One profiled level: every associativity ``w <= cap`` at this set count
@@ -443,6 +445,21 @@ _LEVEL_PROFILES = BoundedMemo(
     256, 4 * 1024 * 1024,
     nbytes_of=lambda value: 256 + 16 * (len(value[1].hist_load)
                                         + len(value[1].hist_store)))
+
+
+def _checked_level_caps(level_caps: Mapping[int, int]) -> Dict[int, int]:
+    """Validate a ``{num_sets: max_ways}`` request, returning it sorted."""
+    if not level_caps:
+        raise ValueError("level_caps must name at least one set count")
+    checked: Dict[int, int] = {}
+    for num_sets, max_ways in sorted(level_caps.items()):
+        if num_sets < 1 or num_sets & (num_sets - 1):
+            raise ValueError(
+                f"num_sets must be a positive power of two, got {num_sets}")
+        if max_ways < 1:
+            raise ValueError("ways must be at least 1")
+        checked[num_sets] = max_ways
+    return checked
 
 
 def _store_mode(has_stores: bool, write_policy: str) -> str:
@@ -467,23 +484,64 @@ def _round_cap(ways: int) -> int:
     return cap
 
 
+class _LevelState:
+    """Carried state of one level's capped stack pass.
+
+    Feeding the whole trace in one :meth:`feed` call reproduces the original
+    one-shot kernels exactly; feeding it in chunks carries the per-set
+    stacks (and, for ``wtna``, priorities and the touch clock) across calls,
+    so chunked and one-shot profiles are bit-identical by construction.
+    """
+
+    __slots__ = ("num_sets", "cap", "mode", "stacks", "prios",
+                 "hist_load", "hist_store", "clock", "loads", "stores")
+
+    def __init__(self, num_sets: int, cap: int, mode: str) -> None:
+        self.num_sets = num_sets
+        self.cap = cap
+        self.mode = mode
+        self.stacks: List[List[int]] = [[] for _ in range(num_sets)]
+        self.prios: Optional[List[List[int]]] = (
+            [[] for _ in range(num_sets)] if mode == "wtna" else None)
+        self.hist_load = [0] * cap
+        self.hist_store = [0] * cap
+        self.clock = 0
+        self.loads = 0
+        self.stores = 0
+
+    def feed(self, blocks_l: list, writes_l: Optional[list]) -> None:
+        """Consume one chunk of block numbers (and store flags)."""
+        mask = self.num_sets - 1
+        if self.mode == "loads":
+            _level_pass_loads(blocks_l, mask, self.cap,
+                              self.stacks, self.hist_load)
+            self.loads += len(blocks_l)
+            return
+        if self.mode == "uniform":
+            _level_pass_uniform(blocks_l, writes_l, mask, self.cap,
+                                self.stacks, self.hist_load, self.hist_store)
+        else:
+            self.clock = _level_pass_wtna(
+                blocks_l, writes_l, mask, self.cap, self.stacks, self.prios,
+                self.hist_load, self.hist_store, self.clock)
+        stores = sum(writes_l)
+        self.stores += stores
+        self.loads += len(blocks_l) - stores
+
+    def profile(self) -> _LevelProfile:
+        """Freeze the accumulated histograms into a readout profile."""
+        return _LevelProfile(num_sets=self.num_sets, cap=self.cap,
+                             hist_load=tuple(self.hist_load),
+                             hist_store=tuple(self.hist_store),
+                             loads=self.loads, stores=self.stores)
+
+
 def _build_level(batch: AddressBatch, blocks: np.ndarray, num_sets: int,
                  cap: int, mode: str) -> _LevelProfile:
-    blocks_l = blocks.tolist()
-    if mode == "loads":
-        hist = _level_pass_loads(blocks_l, num_sets - 1, cap)
-        return _LevelProfile(num_sets=num_sets, cap=cap,
-                             hist_load=tuple(hist),
-                             hist_store=(0,) * cap,
-                             loads=len(blocks_l), stores=0)
-    writes_l = batch.is_write.tolist()
-    kernel = _level_pass_uniform if mode == "uniform" else _level_pass_wtna
-    hist_load, hist_store = kernel(blocks_l, writes_l, num_sets - 1, cap)
-    stores = batch.store_count
-    return _LevelProfile(num_sets=num_sets, cap=cap,
-                         hist_load=tuple(hist_load),
-                         hist_store=tuple(hist_store),
-                         loads=len(blocks_l) - stores, stores=stores)
+    state = _LevelState(num_sets, cap, mode)
+    writes_l = None if mode == "loads" else batch.is_write.tolist()
+    state.feed(blocks.tolist(), writes_l)
+    return state.profile()
 
 
 def _cached_level(batch: AddressBatch, blocks: np.ndarray, num_sets: int,
@@ -529,20 +587,24 @@ class MultiConfigLRUProfile:
                  ) -> None:
         if write_policy not in WritePolicy.ALL:
             raise ValueError(f"unknown write policy {write_policy!r}")
-        if not level_caps:
-            raise ValueError("level_caps must name at least one set count")
         self._block_size = block_size
         self._mode = _store_mode(batch.has_stores, write_policy)
         blocks = cached_block_numbers(batch, block_size)
         self._levels: Dict[int, _LevelProfile] = {}
-        for num_sets, max_ways in sorted(level_caps.items()):
-            if num_sets < 1 or num_sets & (num_sets - 1):
-                raise ValueError(
-                    f"num_sets must be a positive power of two, got {num_sets}")
-            if max_ways < 1:
-                raise ValueError("ways must be at least 1")
+        for num_sets, max_ways in _checked_level_caps(level_caps).items():
             self._levels[num_sets] = _cached_level(
                 batch, blocks, num_sets, _round_cap(max_ways), self._mode)
+
+    @classmethod
+    def _from_levels(cls, block_size: int, mode: str,
+                     levels: Mapping[int, _LevelProfile],
+                     ) -> "MultiConfigLRUProfile":
+        """Wrap prebuilt level profiles (the builder's finish path)."""
+        self = cls.__new__(cls)
+        self._block_size = block_size
+        self._mode = mode
+        self._levels = dict(levels)
+        return self
 
     @property
     def block_size(self) -> int:
@@ -576,6 +638,159 @@ class MultiConfigLRUProfile:
         return ProfileCounts(loads=level.loads, stores=level.stores,
                              load_misses=level.loads - load_hits,
                              store_misses=level.stores - store_hits)
+
+
+# --------------------------------------------------------------------- #
+# part (b'): incremental (chunk-fed) construction for streamed traces
+# --------------------------------------------------------------------- #
+
+class StackDistanceBuilder:
+    """Incremental :class:`StackDistanceProfile` over a chunked block stream.
+
+    ``from_blocks`` needs the whole block array up front (its
+    previous-occurrence pass is one global argsort); a streamed trace never
+    materialises that array.  The builder instead carries the per-block
+    last-occurrence table and a growable Fenwick tree across :meth:`feed`
+    calls, producing per-access distances identical to the one-shot pass —
+    both count live markers (latest occurrences) strictly between an
+    access and its block's previous occurrence.
+
+    Memory is O(footprint + accesses-so-far distances); each feed is
+    O(len(chunk) log N).  The tree doubles its capacity as positions grow,
+    rebuilding from the live-marker set (one entry per distinct block).
+    """
+
+    def __init__(self) -> None:
+        self._distances: List[int] = []
+        self._last_pos: Dict[int, int] = {}
+        self._count = 0
+        self._cap = 1024
+        self._tree = [0] * (self._cap + 1)
+
+    def _grow(self, need: int) -> None:
+        cap = self._cap
+        while cap < need:
+            cap <<= 1
+        self._cap = cap
+        tree = [0] * (cap + 1)
+        # Live markers are exactly the latest occurrence of each distinct
+        # block, so the rebuild is O(footprint log N), not O(N log N).
+        for position in self._last_pos.values():
+            pos = position + 1
+            while pos <= cap:
+                tree[pos] += 1
+                pos += pos & -pos
+        self._tree = tree
+
+    def _prefix(self, pos: int) -> int:
+        tree = self._tree
+        total = 0
+        while pos:
+            total += tree[pos]
+            pos -= pos & -pos
+        return total
+
+    def _update(self, pos: int, delta: int) -> None:
+        tree = self._tree
+        cap = self._cap
+        while pos <= cap:
+            tree[pos] += delta
+            pos += pos & -pos
+
+    def feed(self, blocks: np.ndarray) -> None:
+        """Consume one chunk of block numbers (trace order)."""
+        blocks_l = np.asarray(blocks, dtype=np.int64).tolist()
+        if not blocks_l:
+            return
+        i = self._count
+        if i + len(blocks_l) > self._cap:
+            self._grow(i + len(blocks_l))
+        last_pos = self._last_pos
+        distances = self._distances
+        for b in blocks_l:
+            p = last_pos.get(b, -1)
+            if p < 0:
+                distances.append(-1)
+            else:
+                distances.append(self._prefix(i) - self._prefix(p + 1))
+                self._update(p + 1, -1)
+            self._update(i + 1, 1)
+            last_pos[b] = i
+            i += 1
+        self._count = i
+
+    def feed_batch(self, batch: AddressBatch, block_size: int) -> None:
+        """Consume one :class:`AddressBatch` at the given line size."""
+        self.feed(cached_block_numbers(batch, block_size))
+
+    @property
+    def accesses(self) -> int:
+        """Accesses consumed so far."""
+        return self._count
+
+    def finish(self) -> StackDistanceProfile:
+        """The profile of everything fed so far (builder stays usable)."""
+        return StackDistanceProfile(np.array(self._distances, dtype=np.int64))
+
+
+class MultiConfigProfileBuilder:
+    """Incremental :class:`MultiConfigLRUProfile` over a chunked trace.
+
+    The capped per-set stack kernels are already sequential with carried
+    state, so the builder simply owns one :class:`_LevelState` per requested
+    set count and feeds each chunk through all of them; :meth:`finish`
+    freezes the states into a profile whose readout is bit-identical to a
+    one-shot :class:`MultiConfigLRUProfile` of the concatenated trace.
+
+    The store mode must be fixed before the first chunk (the one-shot path
+    derives it from ``batch.has_stores``, which a stream cannot know up
+    front): pass ``has_stores=False`` only when the whole trace is loads.
+    Feeding a chunk with stores in load-only mode raises rather than
+    silently diverging.
+    """
+
+    def __init__(self, block_size: int, level_caps: Mapping[int, int],
+                 write_policy: str = WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+                 has_stores: bool = True) -> None:
+        if write_policy not in WritePolicy.ALL:
+            raise ValueError(f"unknown write policy {write_policy!r}")
+        self._block_size = block_size
+        self._mode = _store_mode(has_stores, write_policy)
+        self._states: Dict[int, _LevelState] = {
+            num_sets: _LevelState(num_sets, _round_cap(max_ways), self._mode)
+            for num_sets, max_ways in _checked_level_caps(level_caps).items()}
+        self._accesses = 0
+
+    @property
+    def store_mode(self) -> str:
+        """Stack-update semantics used (``loads``, ``uniform`` or ``wtna``)."""
+        return self._mode
+
+    @property
+    def accesses(self) -> int:
+        """Accesses consumed so far."""
+        return self._accesses
+
+    def feed(self, batch: AddressBatch) -> int:
+        """Consume one chunk; returns its length."""
+        if self._mode == "loads" and batch.has_stores:
+            raise ValueError(
+                "builder was created with has_stores=False but the stream "
+                "contains stores")
+        blocks_l = cached_block_numbers(batch, self._block_size).tolist()
+        writes_l = (None if self._mode == "loads"
+                    else batch.is_write.tolist())
+        for state in self._states.values():
+            state.feed(blocks_l, writes_l)
+        self._accesses += len(blocks_l)
+        return len(blocks_l)
+
+    def finish(self) -> MultiConfigLRUProfile:
+        """Freeze into a profile (builder stays usable for more chunks)."""
+        return MultiConfigLRUProfile._from_levels(
+            self._block_size, self._mode,
+            {num_sets: state.profile()
+             for num_sets, state in self._states.items()})
 
 
 def profile_cache_info() -> Dict[str, int]:

@@ -31,6 +31,12 @@ mode).  ``--replacement {lru,fifo,random,plru}`` selects
 the replacement policy on the trace-level cache experiments;
 ``replacement-study`` sweeps all four policies across conventional, skewed
 and victim organisations at once.
+
+``figure1``, ``miss-ratio`` and ``replacement-study`` also take ``--trace
+FILE``: replay a recorded on-disk trace (packed v2 — optionally
+gzip/bz2/xz/zstd-compressed — v1 binary/text, or Dinero ``.din``) instead
+of the synthetic workloads, streamed in ``--trace-chunk``-access batches on
+the vectorized engine so memory stays bounded for arbitrarily long traces.
 """
 
 from __future__ import annotations
@@ -142,6 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
                                   "when it wins), always, never — bit-exact "
                                   "in every mode")
 
+    def add_trace(parser_: argparse.ArgumentParser) -> None:
+        parser_.add_argument("--trace", default=None, metavar="FILE",
+                             help="replay this recorded trace instead of the "
+                                  "synthetic workloads (packed v2, optionally "
+                                  ".gz/.bz2/.xz/.zst-compressed, v1 "
+                                  "binary/text, or Dinero .din)")
+        parser_.add_argument("--trace-chunk", dest="trace_chunk",
+                             type=_positive_int, default=1 << 20,
+                             help="accesses per streamed batch on the "
+                                  "vectorized engine (bounds memory; results "
+                                  "are identical for any chunk size)")
+
     figure1 = sub.add_parser("figure1", help="Figure 1 stride sweep")
     figure1.add_argument("--max-stride", type=int, default=1024)
     figure1.add_argument("--stride-step", type=int, default=4)
@@ -150,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(figure1)
     add_replacement(figure1)
     add_profile(figure1)
+    add_trace(figure1)
 
     table2 = sub.add_parser("table2", help="Table 2 IPC / miss-ratio sweep")
     table2.add_argument("--instructions", type=int, default=12_000)
@@ -171,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine(miss_ratio)
     add_replacement(miss_ratio)
     add_profile(miss_ratio)
+    add_trace(miss_ratio)
 
     replacement = sub.add_parser(
         "replacement-study",
@@ -181,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_sweep_options(replacement, unit="programs")
     add_engine(replacement)
     add_profile(replacement)
+    add_trace(replacement)
 
     holes = sub.add_parser("holes", help="Section 3.3 hole model vs simulation")
     holes.add_argument("--accesses", type=int, default=40_000)
@@ -208,7 +229,9 @@ def _run_experiment(args: argparse.Namespace) -> str:
                              engine=args.engine, workers=args.workers,
                              chunksize=args.chunksize,
                              replacement=args.replacement,
-                             profile=args.profile, **fault_options(args))
+                             profile=args.profile, trace=args.trace,
+                             trace_chunk=args.trace_chunk,
+                             **fault_options(args))
         return result.render()
     if args.experiment == "table2":
         result = run_table2(programs=args.programs or None,
@@ -237,6 +260,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
                                       workers=args.workers,
                                       chunksize=args.chunksize,
                                       profile=args.profile,
+                                      trace=args.trace,
+                                      trace_chunk=args.trace_chunk,
                                       **fault_options(args))
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "replacement-study":
@@ -246,6 +271,8 @@ def _run_experiment(args: argparse.Namespace) -> str:
                                        workers=args.workers,
                                        chunksize=args.chunksize,
                                        profile=args.profile,
+                                       trace=args.trace,
+                                       trace_chunk=args.trace_chunk,
                                        **fault_options(args))
         return result.table().render_csv() if args.csv else result.render()
     if args.experiment == "holes":

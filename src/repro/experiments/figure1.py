@@ -48,6 +48,7 @@ from ..engine import (
 from ..trace.batching import cached_strided_arrays
 from ..trace.generators import strided_vector
 from .config import INDEX_SCHEMES, PAPER_L1_8KB, CacheGeometry, build_cache
+from .trace_input import stream_trace
 
 __all__ = ["Figure1Result", "stride_miss_ratio", "run_figure1"]
 
@@ -172,7 +173,9 @@ def run_figure1(max_stride: int = 4096,
                 timeout: Optional[float] = None,
                 retries: int = 0,
                 on_error: str = "raise",
-                resume: Optional[str] = None) -> Figure1Result:
+                resume: Optional[str] = None,
+                trace: Optional[str] = None,
+                trace_chunk: int = 1 << 20) -> Figure1Result:
     """Run the Figure 1 stride sweep.
 
     Parameters
@@ -211,16 +214,47 @@ def run_figure1(max_stride: int = 4096,
         chunk.  Under ``on_error="collect"`` a failed chunk lands in
         ``result.failures`` and its strides read as ``nan``.  ``resume``
         names a sweep journal that is both appended to and resumed from.
+    trace, trace_chunk:
+        ``trace`` replaces the synthetic strided workload with one recorded
+        on-disk trace (any :mod:`repro.trace.stream` format): each scheme's
+        cache replays that single trace instead of the stride grid, so the
+        result carries one miss ratio (and a one-sample histogram) per
+        scheme.  On the vectorized engine the trace streams through all
+        schemes in ``trace_chunk``-access batches.
     """
+    engine = check_engine(engine)
+    profile = check_profile_mode(profile)
+    schemes = list(schemes) if schemes is not None else list(INDEX_SCHEMES)
+    if trace is not None:
+        caches = {}
+        for scheme in schemes:
+            if engine == ENGINE_VECTORIZED:
+                index_fn = make_index_function(
+                    scheme, num_sets=geometry.num_sets, ways=geometry.ways,
+                    address_bits=address_bits)
+                caches[scheme] = BatchSetAssociativeCache(
+                    size_bytes=geometry.size_bytes,
+                    block_size=geometry.block_size, ways=geometry.ways,
+                    index_function=index_fn, replacement=replacement)
+            else:
+                caches[scheme] = build_cache(geometry, scheme,
+                                             address_bits=address_bits,
+                                             replacement=replacement)
+        stream_trace(caches, trace, engine, trace_chunk)
+        result = Figure1Result(geometry=geometry, strides=1)
+        for scheme, cache in caches.items():
+            ratio = cache.stats.miss_ratio
+            histogram = MissRatioHistogram(label=scheme)
+            histogram.add(ratio)
+            result.histograms[scheme] = histogram
+            result.miss_ratios[scheme] = [ratio]
+        return result
     if max_stride < 2:
         raise ValueError("max_stride must be at least 2")
     if stride_step < 1:
         raise ValueError("stride_step must be positive")
     if chunksize is not None and chunksize < 1:
         raise ValueError("chunksize must be positive")
-    engine = check_engine(engine)
-    profile = check_profile_mode(profile)
-    schemes = list(schemes) if schemes is not None else list(INDEX_SCHEMES)
 
     strides = range(1, max_stride, stride_step)
     result = Figure1Result(geometry=geometry, strides=len(strides))

@@ -53,6 +53,7 @@ from ..engine import (
 from ..trace.batching import cached_workload_arrays
 from ..trace.workloads import build_trace, workload_names
 from .config import PAPER_HASH_BITS, PAPER_L1_8KB, CacheGeometry, build_cache
+from .trace_input import load_miss_ratios_percent, stream_trace, trace_label
 
 __all__ = [
     "MissRatioStudyResult",
@@ -266,7 +267,9 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
                          timeout: Optional[float] = None,
                          retries: int = 0,
                          on_error: str = "raise",
-                         resume: Optional[str] = None) -> MissRatioStudyResult:
+                         resume: Optional[str] = None,
+                         trace: Optional[str] = None,
+                         trace_chunk: int = 1 << 20) -> MissRatioStudyResult:
     """Replay the workload suite through every organisation and collect miss ratios.
 
     ``engine="vectorized"`` materialises each program's trace once and runs
@@ -289,11 +292,30 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
     forwarded to :func:`repro.engine.sweep.run_sweep`; under
     ``on_error="collect"`` a failed program lands in ``result.failures``
     instead of the table.
+
+    ``trace`` replaces the synthetic suite with one recorded on-disk trace
+    (any format :mod:`repro.trace.stream` reads — packed v2, optionally
+    compressed, v1 binary/text, or Dinero ``.din``): the study then has a
+    single row, labelled with the trace's file name.  On the vectorized
+    engine the trace streams through every organisation in
+    ``trace_chunk``-access batches, so memory stays bounded regardless of
+    trace length, with counters bit-identical to an in-memory replay.
     """
-    if accesses < 1_000:
-        raise ValueError("accesses should be at least 1000 for stable ratios")
     engine = check_engine(engine)
     profile = check_profile_mode(profile)
+    if trace is not None:
+        caches = {
+            label: factory() for label, factory in
+            (organisations if organisations is not None else
+             (default_batch_organisations(replacement=replacement)
+              if engine == ENGINE_VECTORIZED else
+              default_organisations(replacement=replacement))).items()}
+        total = stream_trace(caches, trace, engine, trace_chunk)
+        result = MissRatioStudyResult(accesses_per_program=total)
+        result.miss_ratios[trace_label(trace)] = load_miss_ratios_percent(caches)
+        return result
+    if accesses < 1_000:
+        raise ValueError("accesses should be at least 1000 for stable ratios")
     program_list = list(programs) if programs is not None else workload_names()
 
     result = MissRatioStudyResult(accesses_per_program=accesses)

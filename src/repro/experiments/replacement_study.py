@@ -49,6 +49,7 @@ from ..trace.batching import cached_workload_arrays
 from ..trace.workloads import build_trace, workload_names
 from .config import PAPER_L1_8KB, CacheGeometry
 from .miss_ratio_study import _batch_factory, _replay_batch, _scalar_factory
+from .trace_input import load_miss_ratios_percent, stream_trace, trace_label
 
 __all__ = [
     "ReplacementStudyResult",
@@ -176,6 +177,8 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
                           retries: int = 0,
                           on_error: str = "raise",
                           resume: Optional[str] = None,
+                          trace: Optional[str] = None,
+                          trace_chunk: int = 1 << 20,
                           ) -> ReplacementStudyResult:
     """Sweep replacement policy x organisation over the workload suite.
 
@@ -191,9 +194,13 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
     :func:`repro.engine.sweep.run_sweep`; under ``on_error="collect"`` a
     failed program lands in ``result.failures`` and the averages cover the
     surviving programs.
+
+    ``trace`` replaces the synthetic suite with one recorded on-disk trace
+    (any :mod:`repro.trace.stream` format); the reported ratios are then
+    that single trace's, not suite averages.  On the vectorized engine the
+    trace streams through the whole (organisation, policy) grid in
+    ``trace_chunk``-access batches — bounded memory, bit-identical counters.
     """
-    if accesses < 1_000:
-        raise ValueError("accesses should be at least 1000 for stable ratios")
     engine = check_engine(engine)
     profile = check_profile_mode(profile)
     policy_list = list(policies) if policies is not None else list(REPLACEMENT_POLICIES)
@@ -202,6 +209,24 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
             raise ValueError(
                 f"unknown replacement policy {policy!r}; expected one of "
                 f"{sorted(REPLACEMENT_POLICIES)}")
+    if trace is not None:
+        factory = (_batch_factory if engine == ENGINE_VECTORIZED
+                   else _scalar_factory)
+        caches = {
+            (label, policy): factory(kind, params, geometry, policy)()
+            for label, kind, params in _STUDY_ORGANISATIONS
+            for policy in policy_list}
+        total = stream_trace(caches, trace, engine, trace_chunk)
+        ratios = load_miss_ratios_percent(caches)
+        result = ReplacementStudyResult(accesses_per_program=total,
+                                        programs=[trace_label(trace)],
+                                        policies=policy_list)
+        for label, _, _ in _STUDY_ORGANISATIONS:
+            result.miss_ratios[label] = {
+                policy: ratios[(label, policy)] for policy in policy_list}
+        return result
+    if accesses < 1_000:
+        raise ValueError("accesses should be at least 1000 for stable ratios")
     program_list = list(programs) if programs is not None else workload_names()
 
     result = ReplacementStudyResult(accesses_per_program=accesses,

@@ -1,0 +1,101 @@
+"""Replaying on-disk traces through experiment cache grids.
+
+The studies in this package default to the synthetic workload suite, but
+each of them also accepts ``trace=PATH`` (CLI: ``--trace FILE``): a recorded
+address trace in any format :mod:`repro.trace.stream` understands — packed
+v2 (optionally gzip/bz2/xz/zstd-compressed), the v1 binary and text formats,
+or a Dinero ``.din`` file.  This module holds the two replay shapes those
+modes share:
+
+* the **vectorized** engine makes one pass over
+  :func:`~repro.trace.stream.iter_trace_chunks`, feeding every cache of the
+  grid each chunk before reading the next — memory stays bounded by the
+  chunk size no matter how large the trace, and because every batch kernel
+  carries its state across ``run`` calls the counters are bit-identical to
+  a single whole-trace ``run`` (asserted in ``tests/test_trace_stream.py``);
+* the **reference** engine replays the record stream access-at-a-time
+  through each scalar model (one pass per cache — scalar models have no
+  shared-chunk advantage, and the record reader is itself streaming).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Hashable, Mapping, Union
+
+__all__ = [
+    "trace_label",
+    "stream_trace",
+    "stream_trace_vectorized",
+    "stream_trace_reference",
+    "load_miss_ratios_percent",
+]
+
+
+def trace_label(trace: Union[str, Path]) -> str:
+    """Row label a study uses for an on-disk trace (its file name)."""
+    return Path(trace).name
+
+
+def _feed(cache, batch) -> None:
+    """Drive one cache with one chunk: native ``run`` or scalar replay."""
+    if hasattr(cache, "run"):
+        cache.run(batch)
+        return
+    access = cache.access
+    for address, is_write in zip(batch.addresses.tolist(),
+                                 batch.is_write.tolist()):
+        access(address, is_write=is_write)
+
+
+def stream_trace_vectorized(caches: Mapping[Hashable, object],
+                            trace: Union[str, Path],
+                            chunk_size: int) -> int:
+    """One chunked pass over ``trace`` feeding every cache; returns accesses.
+
+    Each chunk is materialised once (as an
+    :class:`~repro.engine.batch.AddressBatch`) and run through all caches
+    before the next chunk is read, so peak memory is one chunk regardless
+    of trace length.
+    """
+    from ..trace.stream import iter_trace_chunks
+
+    total = 0
+    for batch in iter_trace_chunks(trace, chunk_size=chunk_size):
+        for cache in caches.values():
+            _feed(cache, batch)
+        total += len(batch)
+    return total
+
+
+def stream_trace_reference(caches: Mapping[Hashable, object],
+                           trace: Union[str, Path]) -> int:
+    """Replay ``trace`` access-at-a-time through each cache; returns accesses."""
+    from ..trace.stream import read_trace_records
+
+    total = 0
+    for cache in caches.values():
+        count = 0
+        access = cache.access
+        for record in read_trace_records(trace):
+            access(record.address, is_write=record.is_write)
+            count += 1
+        total = count
+    return total
+
+
+def stream_trace(caches: Mapping[Hashable, object], trace: Union[str, Path],
+                 engine: str, chunk_size: int) -> int:
+    """Dispatch to the engine-appropriate replay; returns accesses replayed."""
+    from ..engine import ENGINE_VECTORIZED
+
+    if engine == ENGINE_VECTORIZED:
+        return stream_trace_vectorized(caches, trace, chunk_size)
+    return stream_trace_reference(caches, trace)
+
+
+def load_miss_ratios_percent(caches: Mapping[Hashable, object],
+                             ) -> Dict[Hashable, float]:
+    """Per-cache load miss ratio (percent), keyed like ``caches``."""
+    return {key: 100.0 * cache.stats.load_miss_ratio
+            for key, cache in caches.items()}

@@ -1,8 +1,10 @@
 """Address traces: records, synthetic generators, workload models and I/O.
 
-NumPy materialization lives in :mod:`repro.trace.batching`; it is deliberately
-*not* imported here so that the scalar reference path (this package, the cache
-models and the cpu simulator) stays importable without NumPy.
+NumPy materialization lives in :mod:`repro.trace.batching` and the packed v2
+streaming layer in :mod:`repro.trace.stream`; both are deliberately *not*
+imported here (the streaming names below resolve lazily) so that the scalar
+reference path (this package, the cache models and the cpu simulator) stays
+importable without NumPy.
 """
 
 from .generators import (
@@ -16,6 +18,7 @@ from .generators import (
 )
 from .record import MemoryAccess, materialise, replay, trace_length
 from .trace_io import (
+    TraceReader,
     read_binary_trace,
     read_text_trace,
     write_binary_trace,
@@ -32,11 +35,34 @@ from .workloads import (
     workload_names,
 )
 
+#: Streaming-layer names served lazily out of :mod:`repro.trace.stream`
+#: (which needs NumPy) by :func:`__getattr__` below.
+_STREAM_EXPORTS = (
+    "TRACE_V2_MAGIC",
+    "TRACE_V2_HEADER_SIZE",
+    "TRACE_V2_RECORD_BYTES",
+    "DEFAULT_CHUNK_SIZE",
+    "TraceFormat",
+    "TraceColumns",
+    "TraceV2Writer",
+    "detect_trace_format",
+    "write_trace_v2",
+    "read_trace_v2",
+    "read_din_trace",
+    "import_din_trace",
+    "convert_trace",
+    "read_trace_records",
+    "iter_trace_chunks",
+    "trace_record_count",
+)
+
 __all__ = [
     "MemoryAccess",
     "trace_length",
     "materialise",
     "replay",
+    "TraceReader",
+    *_STREAM_EXPORTS,
     "strided_vector",
     "multi_array_sweep",
     "matrix_traversal",
@@ -57,3 +83,10 @@ __all__ = [
     "build_trace",
     "workload_names",
 ]
+
+
+def __getattr__(name):
+    if name in _STREAM_EXPORTS:
+        from . import stream
+        return getattr(stream, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

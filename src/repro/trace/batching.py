@@ -81,8 +81,21 @@ def strided_vector_arrays(
         raise ValueError("stride must be at least 1")
     if elements < 1 or sweeps < 1:
         raise ValueError("elements and sweeps must be positive")
+    if base < 0:
+        raise ValueError("base must be non-negative")
     step = stride * element_size
-    one_sweep = np.uint64(base) + np.arange(elements, dtype=np.uint64) * np.uint64(step)
+    top = base + (elements - 1) * step
+    if top >= 1 << 64:
+        # The scalar generator keeps arbitrary-precision ints, so a uint64
+        # wraparound here would silently diverge from it instead of failing.
+        raise ValueError(
+            f"address overflow: base {base:#x} plus the last element offset "
+            f"{(elements - 1) * step:#x} reaches {top:#x}, past the uint64 "
+            "address space")
+    offsets = np.arange(elements, dtype=np.uint64)
+    if elements > 1:
+        offsets = offsets * np.uint64(step)
+    one_sweep = np.uint64(base) + offsets
     addresses = np.tile(one_sweep, sweeps)
     writes = np.full(addresses.shape[0], bool(is_write), dtype=bool)
     return addresses, writes

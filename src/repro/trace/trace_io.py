@@ -1,6 +1,6 @@
-"""Reading and writing address traces.
+"""Reading and writing address traces (v1 formats).
 
-Two formats are supported:
+Two record-oriented formats are supported here:
 
 * a human-readable text format (one access per line:
   ``R|W <hex address> <hex pc> <size>``), convenient for small fixture traces
@@ -9,22 +9,36 @@ Two formats are supported:
   traces, so experiments that replay the same trace across many cache
   configurations do not pay generator cost each time.
 
+The columnar, mmap-able v2 format (and compressed/``.din`` ingestion) lives
+in :mod:`repro.trace.stream`, which reuses this module's parsers for the
+record-oriented inputs.
+
 Both round-trip exactly through :class:`~repro.trace.record.MemoryAccess`,
 and both readers validate what they parse — bad magic, truncated records,
 non-hex fields, zero/negative sizes and corrupt flag bytes are reported
 with ``path:line`` (text) or record/byte-offset (binary) precision instead
 of surfacing as ``struct.error`` or silently producing garbage accesses.
+The writers enforce the same invariants (negative address/pc, non-positive
+size, fields too wide for the binary layout), so a writer can never produce
+a trace its own reader refuses.
+
+Readers are returned as :class:`TraceReader` objects: plain iterators that
+also work as context managers and close their file deterministically — on
+exhaustion, on a parse error, on ``close()``, or on leaving a ``with``
+block — so a consumer that stops early does not hold the fd until garbage
+collection.
 """
 
 from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import IO, Iterable, Iterator, Union
 
 from .record import MemoryAccess
 
 __all__ = [
+    "TraceReader",
     "write_text_trace",
     "read_text_trace",
     "write_binary_trace",
@@ -34,6 +48,68 @@ __all__ = [
 _BINARY_MAGIC = b"CACTR1\0\0"
 _RECORD = struct.Struct("<QQIB3x")  # address, pc, size, is_write, padding
 
+#: Widest value each binary field can hold (address/pc are u64, size u32).
+_U64_MAX = (1 << 64) - 1
+_U32_MAX = (1 << 32) - 1
+
+
+class TraceReader:
+    """An iterator of :class:`MemoryAccess` records that owns its file.
+
+    Wraps an open handle and a parser generator reading from it.  The handle
+    is closed deterministically: when the records are exhausted, when the
+    parser raises, when :meth:`close` is called, or when a ``with`` block
+    exits — whichever comes first.  Iterating a closed reader raises
+    ``StopIteration`` (it never reopens the file).
+    """
+
+    def __init__(self, handle: IO, records: Iterator[MemoryAccess]) -> None:
+        self._handle = handle
+        self._records = records
+
+    @property
+    def closed(self) -> bool:
+        """True once the underlying file handle has been released."""
+        return self._handle.closed
+
+    def close(self) -> None:
+        """Release the file handle (idempotent)."""
+        self._records.close()
+        self._handle.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __iter__(self) -> "TraceReader":
+        return self
+
+    def __next__(self) -> MemoryAccess:
+        try:
+            return next(self._records)
+        except BaseException:
+            # Exhaustion and parse errors both release the fd immediately.
+            self.close()
+            raise
+
+
+def _validate_access(access: MemoryAccess, count: int, path: Path) -> None:
+    """Reject records the readers would refuse, before writing them.
+
+    :class:`MemoryAccess` validates at construction, but the writers accept
+    any object with the right attributes — this guard keeps a duck-typed
+    (or ``object.__setattr__``-mutated) record from producing a trace file
+    its own reader rejects.
+    """
+    if access.address < 0 or access.pc < 0:
+        raise ValueError(f"{path}: record {count}: negative address/pc "
+                         f"(address={access.address}, pc={access.pc})")
+    if access.size <= 0:
+        raise ValueError(f"{path}: record {count}: size must be positive, "
+                         f"got {access.size}")
+
 
 def write_text_trace(path: Union[str, Path], trace: Iterable[MemoryAccess]) -> int:
     """Write a trace in the text format; returns the number of records written."""
@@ -42,42 +118,52 @@ def write_text_trace(path: Union[str, Path], trace: Iterable[MemoryAccess]) -> i
     with path.open("w", encoding="ascii") as handle:
         handle.write("# repro cache trace v1: R|W address pc size (hex, hex, dec)\n")
         for access in trace:
+            _validate_access(access, count, path)
             kind = "W" if access.is_write else "R"
             handle.write(f"{kind} {access.address:#x} {access.pc:#x} {access.size}\n")
             count += 1
     return count
 
 
-def read_text_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
-    """Lazily read a text-format trace."""
+def _parse_text(handle: IO[str], label: str) -> Iterator[MemoryAccess]:
+    """Parse text-format records from an open text handle.
+
+    ``label`` names the source in error messages (``label:line``).  Shared
+    with :mod:`repro.trace.stream`, which feeds it decompressed streams.
+    """
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4 or parts[0] not in ("R", "W"):
+            raise ValueError(f"{label}:{line_number}: malformed record {line!r}")
+        try:
+            address = int(parts[1], 16)
+            pc = int(parts[2], 16)
+        except ValueError:
+            raise ValueError(f"{label}:{line_number}: non-hex address/pc "
+                             f"field in {line!r}") from None
+        try:
+            size = int(parts[3], 10)
+        except ValueError:
+            raise ValueError(f"{label}:{line_number}: non-integer size "
+                             f"field in {line!r}") from None
+        if address < 0 or pc < 0:
+            raise ValueError(f"{label}:{line_number}: negative address/pc "
+                             f"in {line!r}")
+        if size <= 0:
+            raise ValueError(f"{label}:{line_number}: size must be "
+                             f"positive, got {size}")
+        yield MemoryAccess(address=address, is_write=parts[0] == "W",
+                           pc=pc, size=size)
+
+
+def read_text_trace(path: Union[str, Path]) -> TraceReader:
+    """Lazily read a text-format trace (iterator + context manager)."""
     path = Path(path)
-    with path.open("r", encoding="ascii") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split()
-            if len(parts) != 4 or parts[0] not in ("R", "W"):
-                raise ValueError(f"{path}:{line_number}: malformed record {line!r}")
-            try:
-                address = int(parts[1], 16)
-                pc = int(parts[2], 16)
-            except ValueError:
-                raise ValueError(f"{path}:{line_number}: non-hex address/pc "
-                                 f"field in {line!r}") from None
-            try:
-                size = int(parts[3], 10)
-            except ValueError:
-                raise ValueError(f"{path}:{line_number}: non-integer size "
-                                 f"field in {line!r}") from None
-            if address < 0 or pc < 0:
-                raise ValueError(f"{path}:{line_number}: negative address/pc "
-                                 f"in {line!r}")
-            if size <= 0:
-                raise ValueError(f"{path}:{line_number}: size must be "
-                                 f"positive, got {size}")
-            yield MemoryAccess(address=address, is_write=parts[0] == "W",
-                               pc=pc, size=size)
+    handle = path.open("r", encoding="ascii")
+    return TraceReader(handle, _parse_text(handle, str(path)))
 
 
 def write_binary_trace(path: Union[str, Path], trace: Iterable[MemoryAccess]) -> int:
@@ -87,50 +173,60 @@ def write_binary_trace(path: Union[str, Path], trace: Iterable[MemoryAccess]) ->
     with path.open("wb") as handle:
         handle.write(_BINARY_MAGIC)
         for access in trace:
-            try:
-                record = _RECORD.pack(access.address, access.pc, access.size,
-                                      1 if access.is_write else 0)
-            except struct.error as exc:
+            _validate_access(access, count, path)
+            if access.address > _U64_MAX or access.pc > _U64_MAX \
+                    or access.size > _U32_MAX:
                 raise ValueError(
                     f"{path}: record {count} does not fit the binary format "
-                    f"(address/pc are u64, size is u32): {exc}") from None
+                    f"(address/pc are u64, size is u32)")
+            record = _RECORD.pack(access.address, access.pc, access.size,
+                                  1 if access.is_write else 0)
             handle.write(record)
             count += 1
     return count
 
 
-def read_binary_trace(path: Union[str, Path]) -> Iterator[MemoryAccess]:
-    """Lazily read a binary-format trace."""
+def _parse_binary(handle: IO[bytes], label: str) -> Iterator[MemoryAccess]:
+    """Parse binary-format records (header included) from an open handle.
+
+    Shared with :mod:`repro.trace.stream`; errors carry record/byte-offset
+    precision against ``label``.
+    """
+    magic = handle.read(len(_BINARY_MAGIC))
+    if len(magic) < len(_BINARY_MAGIC):
+        raise ValueError(f"{label}: truncated header ({len(magic)} of "
+                         f"{len(_BINARY_MAGIC)} magic bytes) — not a "
+                         "repro binary trace")
+    if magic != _BINARY_MAGIC:
+        raise ValueError(f"{label} is not a repro binary trace (bad magic)")
+    offset = len(_BINARY_MAGIC)
+    record_index = 0
+    while True:
+        raw = handle.read(_RECORD.size)
+        if not raw:
+            break
+        if len(raw) != _RECORD.size:
+            raise ValueError(
+                f"{label}: truncated record {record_index} at byte offset "
+                f"{offset} ({len(raw)} of {_RECORD.size} bytes)")
+        address, pc, size, is_write = _RECORD.unpack(raw)
+        where = f"{label}: record {record_index} at byte offset {offset}"
+        if size == 0:
+            raise ValueError(f"{where}: size must be positive, got 0")
+        if is_write not in (0, 1):
+            raise ValueError(f"{where}: corrupt write flag "
+                             f"{is_write:#04x} (expected 0 or 1)")
+        if raw[-3:] != b"\x00\x00\x00":
+            raise ValueError(f"{where}: corrupt padding bytes "
+                             f"{raw[-3:]!r} (expected zeros)")
+        yield MemoryAccess(address=address, is_write=bool(is_write),
+                           pc=pc, size=size)
+        offset += _RECORD.size
+        record_index += 1
+
+
+def read_binary_trace(path: Union[str, Path]) -> TraceReader:
+    """Lazily read a binary-format trace (iterator + context manager)."""
     path = Path(path)
-    with path.open("rb") as handle:
-        magic = handle.read(len(_BINARY_MAGIC))
-        if len(magic) < len(_BINARY_MAGIC):
-            raise ValueError(f"{path}: truncated header ({len(magic)} of "
-                             f"{len(_BINARY_MAGIC)} magic bytes) — not a "
-                             "repro binary trace")
-        if magic != _BINARY_MAGIC:
-            raise ValueError(f"{path} is not a repro binary trace (bad magic)")
-        offset = len(_BINARY_MAGIC)
-        record_index = 0
-        while True:
-            raw = handle.read(_RECORD.size)
-            if not raw:
-                break
-            if len(raw) != _RECORD.size:
-                raise ValueError(
-                    f"{path}: truncated record {record_index} at byte offset "
-                    f"{offset} ({len(raw)} of {_RECORD.size} bytes)")
-            address, pc, size, is_write = _RECORD.unpack(raw)
-            where = f"{path}: record {record_index} at byte offset {offset}"
-            if size == 0:
-                raise ValueError(f"{where}: size must be positive, got 0")
-            if is_write not in (0, 1):
-                raise ValueError(f"{where}: corrupt write flag "
-                                 f"{is_write:#04x} (expected 0 or 1)")
-            if raw[-3:] != b"\x00\x00\x00":
-                raise ValueError(f"{where}: corrupt padding bytes "
-                                 f"{raw[-3:]!r} (expected zeros)")
-            yield MemoryAccess(address=address, is_write=bool(is_write),
-                               pc=pc, size=size)
-            offset += _RECORD.size
-            record_index += 1
+    handle = path.open("rb")
+    return TraceReader(handle, _parse_binary(handle, str(path)))

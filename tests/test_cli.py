@@ -84,6 +84,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    @pytest.mark.parametrize("command", ["figure1", "miss-ratio",
+                                         "replacement-study"])
+    def test_trace_options_parity(self, command):
+        """--trace/--trace-chunk exist on every trace-replaying command
+        and default to the synthetic suite."""
+        parser = build_parser()
+        defaults = parser.parse_args([command])
+        assert defaults.trace is None
+        assert defaults.trace_chunk == 1 << 20
+        args = parser.parse_args(
+            [command, "--trace", "recorded.ctr", "--trace-chunk", "4096"])
+        assert args.trace == "recorded.ctr"
+        assert args.trace_chunk == 4096
+
+    @pytest.mark.parametrize("argv", [
+        ["miss-ratio", "--trace-chunk", "0"],
+        ["figure1", "--trace-chunk", "-5"],
+        ["replacement-study", "--trace-chunk", "many"],
+    ])
+    def test_bad_trace_chunk_rejected_at_parse_time(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert "--trace-chunk" in capsys.readouterr().err
+
     def test_holes_options(self):
         args = build_parser().parse_args(
             ["holes", "--accesses", "5000", "--l2-kilobytes", "64", "256",
@@ -125,6 +149,40 @@ class TestExecution:
     def test_column_assoc_runs(self, capsys):
         assert main(["column-assoc", "--accesses", "4000"]) == 0
         assert "first-probe" in capsys.readouterr().out
+
+    @pytest.fixture()
+    def recorded_trace(self, tmp_path):
+        import numpy as np
+
+        from repro.trace.stream import write_trace_v2
+
+        rng = np.random.default_rng(5)
+        path = tmp_path / "recorded.ctr"
+        write_trace_v2(
+            path,
+            rng.integers(0, 1 << 9, size=800, dtype=np.uint64) * np.uint64(32),
+            is_write=rng.random(800) < 0.3)
+        return path
+
+    def test_miss_ratio_streams_a_recorded_trace(self, recorded_trace,
+                                                 capsys):
+        assert main(["miss-ratio", "--trace", str(recorded_trace),
+                     "--engine", "vectorized", "--trace-chunk", "97"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded.ctr" in out
+        assert "conventional-2way" in out
+
+    def test_replacement_study_streams_a_recorded_trace(self, recorded_trace,
+                                                        capsys):
+        assert main(["replacement-study", "--trace",
+                     str(recorded_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "replacement sensitivity" in out
+
+    def test_figure1_streams_a_recorded_trace(self, recorded_trace, capsys):
+        assert main(["figure1", "--trace", str(recorded_trace),
+                     "--engine", "vectorized"]) == 0
+        assert "a2-Hp-Sk" in capsys.readouterr().out
 
     def test_miss_ratio_with_replacement(self, capsys):
         assert main(["miss-ratio", "--accesses", "4000", "--programs", "gcc",

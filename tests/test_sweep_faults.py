@@ -277,6 +277,48 @@ class TestJournalAndResume:
         with pytest.raises(ValueError, match=r"corrupt\.jsonl:3"):
             SweepJournal(journal).load()
 
+    def test_garbage_only_line_is_not_a_journal(self, tmp_path):
+        # A file whose line 1 is undecodable must not ride the
+        # truncated-final-append escape (line 1 == last line): it is not a
+        # crashed journal, it is not a journal at all.
+        journal = tmp_path / "noise.jsonl"
+        journal.write_text("this is not json\n", encoding="utf-8")
+        with pytest.raises(ValueError,
+                           match=r"noise\.jsonl:1: not a repro sweep "
+                                 "journal"):
+            SweepJournal(journal).load()
+
+    def test_wrong_header_object_is_not_a_journal(self, tmp_path):
+        journal = tmp_path / "alien.jsonl"
+        journal.write_text('{"format": "something-else", "version": 1}\n',
+                           encoding="utf-8")
+        with pytest.raises(ValueError, match="not a repro sweep journal"):
+            SweepJournal(journal).load()
+
+    @pytest.mark.parametrize("record,detail", [
+        ('{"index": "3", "digest": "abc", "result": 9}',
+         "index must be an integer"),
+        ('{"index": true, "digest": "abc", "result": 9}',
+         "index must be an integer"),
+        ('{"index": 3, "digest": 42, "result": 9}',
+         "digest must be a string"),
+    ])
+    def test_mistyped_keys_are_corrupt_not_silently_ignored(self, tmp_path,
+                                                            record, detail):
+        # A mis-typed key would never match any (position, digest) slot on
+        # resume, silently redoing the recorded work; load() must say the
+        # journal is bad instead.
+        journal = tmp_path / "typed.jsonl"
+        run_sweep(_square_task, _tasks(2), mode="serial",
+                  journal=str(journal))
+        with journal.open("a", encoding="utf-8") as handle:
+            handle.write(record + "\n")
+        with pytest.raises(ValueError) as excinfo:
+            SweepJournal(journal).load()
+        message = str(excinfo.value)
+        assert "typed.jsonl:4: corrupt journal record" in message
+        assert detail in message
+
     def test_resume_ignores_records_for_changed_tasks(self, tmp_path):
         journal = tmp_path / "changed.jsonl"
         run_sweep(_square_task, _tasks(4), mode="serial",

@@ -296,3 +296,52 @@ class TestTraceCorruption:
         trace = [MemoryAccess(0x10, is_write=False, pc=0x400, size=1 << 40)]
         with pytest.raises(ValueError, match="record 0 does not fit"):
             write_binary_trace(path, trace)
+
+
+class _RawAccess:
+    """A duck-typed record that skips MemoryAccess construction checks."""
+
+    def __init__(self, address, pc=0, size=8, is_write=False):
+        self.address = address
+        self.pc = pc
+        self.size = size
+        self.is_write = is_write
+
+
+class TestWriterValidation:
+    """The writers enforce what the readers enforce, so a writer can never
+    produce a trace file its own reader refuses — even when handed
+    duck-typed records that bypassed MemoryAccess validation."""
+
+    WRITERS = [write_text_trace, write_binary_trace]
+
+    @pytest.mark.parametrize("writer", WRITERS)
+    def test_negative_address_rejected(self, tmp_path, writer):
+        path = tmp_path / "bad.trace"
+        with pytest.raises(ValueError, match="record 0: negative "
+                                             "address/pc"):
+            writer(path, [_RawAccess(address=-1)])
+
+    @pytest.mark.parametrize("writer", WRITERS)
+    def test_negative_pc_rejected(self, tmp_path, writer):
+        path = tmp_path / "bad.trace"
+        with pytest.raises(ValueError, match="record 0: negative "
+                                             "address/pc"):
+            writer(path, [_RawAccess(address=0x10, pc=-4)])
+
+    @pytest.mark.parametrize("writer", WRITERS)
+    @pytest.mark.parametrize("size", [0, -8])
+    def test_non_positive_size_rejected(self, tmp_path, writer, size):
+        path = tmp_path / "bad.trace"
+        with pytest.raises(ValueError, match="record 0: size must be "
+                                             "positive"):
+            writer(path, [_RawAccess(address=0x10, size=size)])
+
+    @pytest.mark.parametrize("writer", WRITERS)
+    def test_error_names_the_offending_record(self, tmp_path, writer):
+        path = tmp_path / "bad.trace"
+        trace = [MemoryAccess(0x10), MemoryAccess(0x20),
+                 _RawAccess(address=0x30, size=0)]
+        with pytest.raises(ValueError, match="record 2: size must be "
+                                             "positive"):
+            writer(path, trace)

@@ -1,0 +1,1054 @@
+"""Streaming trace layer: v2 format, compression, ``.din``, chunked parity.
+
+Pins the two guarantees :mod:`repro.trace.stream` makes:
+
+* **bit-exactness** — replaying a trace through
+  :func:`~repro.trace.stream.iter_trace_chunks` (any chunk size, any
+  format, mmap or buffered) produces the same statistics, policy state
+  tables and profiler histograms as materialising the whole trace at once,
+  for every batch kernel family and for the incremental profiler builders;
+* **error precision** — every corruption case the one-shot readers locate
+  (record index, byte offset, ``path:line``) is located identically when
+  the same file streams through the chunked iterator, after every complete
+  earlier chunk has been yielded.
+"""
+
+import dataclasses
+import gzip
+import json
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import make_index_function
+from repro.engine.batch import AddressBatch
+from repro.engine.batch_cache import (
+    BatchColumnAssociativeCache,
+    BatchSetAssociativeCache,
+    BatchVictimCache,
+)
+from repro.engine.multiconfig import (
+    MultiConfigLRUProfile,
+    MultiConfigProfileBuilder,
+    StackDistanceBuilder,
+    StackDistanceProfile,
+)
+from repro.trace.record import MemoryAccess
+from repro.trace.stream import (
+    DEFAULT_CHUNK_SIZE,
+    TRACE_V2_HEADER_SIZE,
+    TRACE_V2_MAGIC,
+    TRACE_V2_RECORD_BYTES,
+    TraceV2Writer,
+    convert_trace,
+    detect_trace_format,
+    import_din_trace,
+    iter_trace_chunks,
+    read_din_trace,
+    read_trace_records,
+    read_trace_v2,
+    trace_record_count,
+    write_trace_v2,
+)
+from repro.trace.trace_io import (
+    read_text_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+GOLDEN = Path(__file__).parent / "golden"
+
+
+# --------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------- #
+
+def _columns(n, seed=0, writes=True):
+    """Deterministic column arrays exercising wide addresses and pcs."""
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 48, size=n, dtype=np.uint64)
+    flags = (rng.random(n) < 0.3) if writes else np.zeros(n, dtype=bool)
+    pcs = rng.integers(0, 1 << 40, size=n, dtype=np.uint64)
+    sizes = rng.integers(1, 65, size=n, dtype=np.uint32)
+    return addresses, flags, pcs, sizes
+
+
+def _records(n, seed=0):
+    addresses, flags, pcs, sizes = _columns(n, seed)
+    return [MemoryAccess(address=int(a), is_write=bool(w), pc=int(p),
+                         size=int(s))
+            for a, w, p, s in zip(addresses, flags, pcs, sizes)]
+
+
+def _drain(path, chunk_size, use_mmap=False):
+    """Concatenate every chunk of ``iter_trace_chunks`` into two arrays."""
+    addresses, writes = [], []
+    for batch in iter_trace_chunks(path, chunk_size=chunk_size,
+                                   use_mmap=use_mmap):
+        addresses.append(batch.addresses)
+        writes.append(batch.is_write)
+    if not addresses:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=bool)
+    return np.concatenate(addresses), np.concatenate(writes)
+
+
+def _cache_batch(n=3000, seed=7, cold_loads=256):
+    """A locality-bearing batch whose first chunk is load-only and cold.
+
+    Small address footprint so the caches see plenty of hits, with a
+    load-only prefix so chunked replay starts on the run-collapse kernel
+    and hands off to the dict kernel mid-stream.
+    """
+    rng = np.random.default_rng(seed)
+    addresses = (rng.integers(0, 1 << 10, size=n, dtype=np.uint64)
+                 * np.uint64(32))
+    writes = rng.random(n) < 0.3
+    writes[:cold_loads] = False
+    return AddressBatch.from_arrays(addresses, writes)
+
+
+def _plain(value):
+    """Normalise cache state for comparison (NumPy arrays -> lists)."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
+
+
+_STATE_ATTRS = ("_clock", "_sets", "_way_tags", "_way_used", "_way_dirty",
+                "_frames", "_dirty", "_victim", "_victim_dirty",
+                "_victim_order")
+
+
+def _state_tables(cache):
+    """The policy/placement state tables a cache instance carries."""
+    snapshot = {}
+    for attr in _STATE_ATTRS:
+        if hasattr(cache, attr):
+            snapshot[attr] = _plain(getattr(cache, attr))
+    policy = getattr(cache, "_vec_policy", None)
+    if policy is not None:
+        state = {}
+        for attr, value in vars(policy).items():
+            if isinstance(value, (int, float, bool, str, list, tuple, dict,
+                                  np.ndarray)):
+                state[attr] = _plain(value)
+        snapshot["_vec_policy"] = state
+    return snapshot
+
+
+# --------------------------------------------------------------------- #
+# format detection
+# --------------------------------------------------------------------- #
+
+class TestDetectFormat:
+    def test_v2_and_v1_binary_by_magic(self, tmp_path):
+        v2 = tmp_path / "renamed.txt"  # suffix lies; magic wins
+        write_trace_v2(v2, [0x100, 0x200])
+        v1 = tmp_path / "t.bin"
+        write_binary_trace(v1, _records(3))
+        assert detect_trace_format(v2).kind == "v2"
+        assert detect_trace_format(v2).compression is None
+        assert detect_trace_format(v1).kind == "v1-binary"
+
+    def test_text_and_din_by_first_line(self, tmp_path):
+        text = tmp_path / "t.trace"
+        write_text_trace(text, _records(3))
+        din = tmp_path / "t.din"
+        din.write_text("2 80004000\n0 1000\n")
+        assert detect_trace_format(text).kind == "text"
+        assert detect_trace_format(din).kind == "din"
+
+    def test_compression_detected_by_magic_not_suffix(self, tmp_path):
+        plain = tmp_path / "t.ctr"
+        write_trace_v2(plain, [0x40, 0x80], is_write=[True, False])
+        renamed = tmp_path / "t.dat"  # no .gz suffix on a gzip file
+        renamed.write_bytes(gzip.compress(plain.read_bytes()))
+        fmt = detect_trace_format(renamed)
+        assert fmt.kind == "v2"
+        assert fmt.compression == "gzip"
+        loaded = read_trace_v2(renamed)
+        assert loaded.addresses.tolist() == [0x40, 0x80]
+        assert loaded.is_write.tolist() == [True, False]
+
+    def test_unrecognised_content_is_an_error(self, tmp_path):
+        path = tmp_path / "noise.trc"
+        path.write_bytes(b"GARBAGE-NOT-A-TRACE\n")
+        with pytest.raises(ValueError, match="unrecognised trace format"):
+            detect_trace_format(path)
+
+    def test_short_magic_prefix_keeps_truncation_errors(self, tmp_path):
+        # A prefix of the shared "CACTR" stem routes to the v1 parser and
+        # keeps its established truncated-header message.
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"CACT")
+        with pytest.raises(ValueError, match="truncated header"):
+            list(read_trace_records(path))
+        v2ish = tmp_path / "short2.bin"
+        v2ish.write_bytes(b"CACTR2\0")
+        with pytest.raises(ValueError, match="truncated v2 header"):
+            list(read_trace_records(v2ish))
+
+
+# --------------------------------------------------------------------- #
+# v2 round trips
+# --------------------------------------------------------------------- #
+
+class TestV2RoundTrip:
+    @pytest.mark.parametrize("suffix", ["", ".gz", ".bz2", ".xz"])
+    def test_columns_round_trip(self, tmp_path, suffix):
+        addresses, flags, pcs, sizes = _columns(200, seed=1)
+        path = tmp_path / f"t.ctr{suffix}"
+        assert write_trace_v2(path, addresses, is_write=flags, pcs=pcs,
+                              sizes=sizes) == 200
+        loaded = read_trace_v2(path)
+        assert np.array_equal(loaded.addresses, addresses)
+        assert np.array_equal(loaded.is_write, flags)
+        assert np.array_equal(loaded.pcs, pcs)
+        assert np.array_equal(loaded.sizes, sizes)
+        assert loaded.count == 200
+        assert trace_record_count(path) == 200
+
+    def test_mmap_and_buffered_reads_agree(self, tmp_path):
+        addresses, flags, pcs, sizes = _columns(500, seed=2)
+        path = tmp_path / "t.ctr"
+        write_trace_v2(path, addresses, is_write=flags, pcs=pcs, sizes=sizes)
+        mapped = read_trace_v2(path, use_mmap=True)
+        buffered = read_trace_v2(path, use_mmap=False)
+        for name in ("addresses", "pcs", "sizes", "is_write"):
+            assert np.array_equal(getattr(mapped, name),
+                                  getattr(buffered, name))
+
+    def test_file_layout_is_the_documented_one(self, tmp_path):
+        path = tmp_path / "t.ctr"
+        write_trace_v2(path, [0x10, 0x20], is_write=[False, True],
+                       pcs=[0x400, 0x404], sizes=[4, 8])
+        raw = path.read_bytes()
+        assert raw[:8] == TRACE_V2_MAGIC
+        (count,) = struct.unpack_from("<Q", raw, 8)
+        assert count == 2
+        assert len(raw) == TRACE_V2_HEADER_SIZE + 2 * TRACE_V2_RECORD_BYTES
+        assert struct.unpack_from("<2Q", raw, 16) == (0x10, 0x20)
+        assert struct.unpack_from("<2Q", raw, 32) == (0x400, 0x404)
+        assert struct.unpack_from("<2I", raw, 48) == (4, 8)
+        assert raw[56:58] == b"\x00\x01"
+
+    def test_default_pcs_and_sizes_match_memory_access(self, tmp_path):
+        path = tmp_path / "t.ctr"
+        write_trace_v2(path, [0x100])
+        record = next(iter(read_trace_v2(path).records()))
+        assert record == MemoryAccess(address=0x100)
+
+    def test_records_reconstruct_exactly(self, tmp_path):
+        records = _records(64, seed=3)
+        path = tmp_path / "t.ctr"
+        with TraceV2Writer(path) as writer:
+            writer.append_records(iter(records), chunk_size=10)
+        assert list(read_trace_v2(path).records()) == records
+        assert list(read_trace_records(path)) == records
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = tmp_path / "empty.ctr"
+        assert write_trace_v2(path, []) == 0
+        assert read_trace_v2(path).count == 0
+        assert list(iter_trace_chunks(path, chunk_size=4)) == []
+
+
+class TestTraceV2Writer:
+    def test_chunked_append_is_byte_identical_to_one_shot(self, tmp_path):
+        addresses, flags, pcs, sizes = _columns(300, seed=4)
+        one_shot = tmp_path / "one.ctr"
+        write_trace_v2(one_shot, addresses, is_write=flags, pcs=pcs,
+                       sizes=sizes)
+        chunked = tmp_path / "chunked.ctr"
+        with TraceV2Writer(chunked) as writer:
+            for start in range(0, 300, 77):
+                stop = min(start + 77, 300)
+                writer.append(addresses[start:stop],
+                              is_write=flags[start:stop],
+                              pcs=pcs[start:stop], sizes=sizes[start:stop])
+            assert writer.count == 300
+        assert chunked.read_bytes() == one_shot.read_bytes()
+
+    def test_spools_are_removed_on_close_and_abort(self, tmp_path):
+        path = tmp_path / "t.ctr"
+        with TraceV2Writer(path) as writer:
+            writer.append([0x10])
+            assert list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob("*.tmp"))
+        assert path.exists()
+        doomed = tmp_path / "doomed.ctr"
+        with pytest.raises(RuntimeError):
+            with TraceV2Writer(doomed) as writer:
+                writer.append([0x10])
+                raise RuntimeError("boom")
+        assert not doomed.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_validation_uses_trace_global_record_indices(self, tmp_path):
+        with TraceV2Writer(tmp_path / "t.ctr") as writer:
+            writer.append([0x10, 0x20, 0x30])
+            with pytest.raises(ValueError, match="record 4: negative "
+                                                 "address"):
+                writer.append(np.array([0x40, -1], dtype=np.int64))
+            with pytest.raises(ValueError, match="record 3: size must be "
+                                                 "positive, got 0"):
+                writer.append([0x40], sizes=[0])
+            writer.abort()
+
+    def test_writer_rejects_what_readers_reject(self, tmp_path):
+        path = tmp_path / "t.ctr"
+        with pytest.raises(ValueError, match="write flag must be 0/1"):
+            write_trace_v2(path, [0x10], is_write=[2])
+        with pytest.raises(ValueError, match="must be integers"):
+            write_trace_v2(path, np.array([1.5]))
+        with pytest.raises(ValueError, match=r"exceeds"):
+            write_trace_v2(path, [0x10], sizes=[1 << 33])
+        with pytest.raises(ValueError, match="record 1.*outside"):
+            write_trace_v2(path, np.array([1, 1 << 64], dtype=object))
+        assert not path.exists()
+
+
+class TestZstdGate:
+    def test_zstd_is_gated_not_assumed(self, tmp_path):
+        try:
+            import zstandard  # noqa: F401
+        except ImportError:
+            zstandard = None
+        path = tmp_path / "t.ctr.zst"
+        if zstandard is None:
+            with pytest.raises(ValueError, match="zstandard"):
+                write_trace_v2(path, [0x10])
+            # A zstd-magic file must fail with the install hint, not crash.
+            fake = tmp_path / "fake.ctr"
+            fake.write_bytes(b"\x28\xb5\x2f\xfd" + b"\x00" * 16)
+            with pytest.raises(ValueError, match="recompress with "
+                                                 "gzip/bz2/xz"):
+                detect_trace_format(fake)
+        else:
+            write_trace_v2(path, [0x10, 0x20], is_write=[True, False])
+            fmt = detect_trace_format(path)
+            assert (fmt.kind, fmt.compression) == ("v2", "zstd")
+            assert read_trace_v2(path).addresses.tolist() == [0x10, 0x20]
+
+
+# --------------------------------------------------------------------- #
+# Dinero .din import
+# --------------------------------------------------------------------- #
+
+class TestDinTraces:
+    def test_labels_map_to_access_kinds(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 1000\n1 2000\n2 80004000\n\n0 3000 extra junk\n")
+        records = list(read_din_trace(path))
+        assert records == [
+            MemoryAccess(address=0x1000, is_write=False, pc=0, size=4),
+            MemoryAccess(address=0x2000, is_write=True, pc=0, size=4),
+            MemoryAccess(address=0x80004000, is_write=False, pc=0x80004000,
+                         size=4),
+            MemoryAccess(address=0x3000, is_write=False, pc=0, size=4),
+        ]
+
+    def test_import_converts_to_v2_exactly(self, tmp_path):
+        din = tmp_path / "t.din"
+        din.write_text("".join(f"{i % 3} {0x1000 + 4 * i:x}\n"
+                               for i in range(50)))
+        v2 = tmp_path / "t.ctr"
+        assert import_din_trace(din, v2) == 50
+        assert detect_trace_format(v2).kind == "v2"
+        assert list(read_trace_v2(v2).records()) == list(read_din_trace(din))
+
+    @pytest.mark.parametrize("line,error", [
+        ("0\n", r"t\.din:1: malformed \.din record"),
+        ("3 1000\n", r"t\.din:1: bad \.din access label '3'"),
+        ("0 xyz\n", r"t\.din:1: non-hex address"),
+        ("0 -10\n", r"t\.din:1: negative address"),
+    ])
+    def test_errors_carry_line_precision(self, tmp_path, line, error):
+        path = tmp_path / "t.din"
+        path.write_text(line)
+        with pytest.raises(ValueError, match=error):
+            list(read_din_trace(path))
+
+    def test_error_on_a_later_line_names_that_line(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 1000\n1 2000\n9 3000\n")
+        with pytest.raises(ValueError, match=r"t\.din:3: bad \.din access"):
+            list(read_din_trace(path))
+
+
+# --------------------------------------------------------------------- #
+# conversion
+# --------------------------------------------------------------------- #
+
+class TestConvertTrace:
+    @pytest.mark.parametrize("writer", [write_text_trace, write_binary_trace])
+    def test_v1_to_v2_is_record_exact(self, tmp_path, writer):
+        records = _records(80, seed=5)
+        src = tmp_path / "src.trace"
+        writer(src, records)
+        dst = tmp_path / "dst.ctr"
+        assert convert_trace(src, dst, chunk_size=17) == 80
+        assert list(read_trace_v2(dst).records()) == records
+
+    def test_v2_to_compressed_v2(self, tmp_path):
+        records = _records(40, seed=6)
+        src = tmp_path / "src.ctr"
+        write_trace_v2(src, [r.address for r in records],
+                       is_write=[r.is_write for r in records],
+                       pcs=[r.pc for r in records],
+                       sizes=[r.size for r in records])
+        dst = tmp_path / "dst.ctr.gz"
+        assert convert_trace(src, dst) == 40
+        assert detect_trace_format(dst).compression == "gzip"
+        assert list(read_trace_v2(dst).records()) == records
+
+
+# --------------------------------------------------------------------- #
+# v2 corruption — whole-file and mid-stream
+# --------------------------------------------------------------------- #
+
+class TestV2Corruption:
+    def _trace(self, tmp_path, n=10, name="t.ctr"):
+        addresses, flags, pcs, sizes = _columns(n, seed=8)
+        path = tmp_path / name
+        write_trace_v2(path, addresses, is_write=flags, pcs=pcs, sizes=sizes)
+        return path
+
+    @pytest.mark.parametrize("consume", [
+        lambda path: read_trace_v2(path),
+        lambda path: list(iter_trace_chunks(path, chunk_size=3)),
+        lambda path: list(iter_trace_chunks(path, chunk_size=3,
+                                            use_mmap=True)),
+    ])
+    def test_truncated_header(self, tmp_path, consume):
+        path = tmp_path / "t.ctr"
+        path.write_bytes(TRACE_V2_MAGIC + b"\x01\x02")
+        with pytest.raises(ValueError, match=r"truncated v2 header \(10 of "
+                                             r"16 bytes\)"):
+            consume(path)
+
+    def test_bad_magic_when_forced_through_the_v2_reader(self, tmp_path):
+        path = tmp_path / "t.ctr"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 8)
+        with pytest.raises(ValueError, match="not a repro v2 trace"):
+            read_trace_v2(path)
+
+    @pytest.mark.parametrize("use_mmap", [False, True])
+    def test_truncated_column_data(self, tmp_path, use_mmap):
+        path = self._trace(tmp_path, n=10)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-7])
+        expected = TRACE_V2_HEADER_SIZE + 10 * TRACE_V2_RECORD_BYTES
+        message = (rf"truncated v2 trace: expected {expected} bytes for "
+                   rf"10 records, got {expected - 7}")
+        with pytest.raises(ValueError, match=message):
+            read_trace_v2(path, use_mmap=use_mmap)
+        with pytest.raises(ValueError, match=message):
+            list(iter_trace_chunks(path, chunk_size=4, use_mmap=use_mmap))
+
+    def test_truncated_compressed_column_names_the_records(self, tmp_path):
+        path = self._trace(tmp_path, n=10)
+        packed = tmp_path / "t.ctr.gz"
+        packed.write_bytes(gzip.compress(path.read_bytes()[:-7]))
+        # No size to check up front: the failure surfaces at the short
+        # read, naming the column and the record range it was serving (the
+        # is_write cursor hits the cut on its very first chunk).
+        with pytest.raises(ValueError, match=r"truncated v2 trace: is_write "
+                                             r"column records 0\.\.4 "
+                                             r"\(3 of 4 bytes\)"):
+            list(iter_trace_chunks(packed, chunk_size=4))
+
+    @pytest.mark.parametrize("use_mmap", [False, True])
+    def test_trailing_data(self, tmp_path, use_mmap):
+        path = self._trace(tmp_path, n=10)
+        with path.open("ab") as handle:
+            handle.write(b"\xff\xff\xff")
+        with pytest.raises(ValueError, match=r"trailing data after 10 "
+                                             r"records \(3 extra bytes\)"):
+            list(iter_trace_chunks(path, chunk_size=4, use_mmap=use_mmap))
+
+    def test_trailing_data_in_a_compressed_trace(self, tmp_path):
+        path = self._trace(tmp_path, n=10)
+        packed = tmp_path / "t.ctr.gz"
+        packed.write_bytes(gzip.compress(path.read_bytes() + b"\xff"))
+        with pytest.raises(ValueError, match="trailing data after 10 "
+                                             "records"):
+            list(iter_trace_chunks(packed, chunk_size=4))
+
+    def _corrupt_byte(self, path, count, column_offset, index, value):
+        raw = bytearray(path.read_bytes())
+        raw[column_offset + index] = value
+        path.write_bytes(bytes(raw))
+
+    @pytest.mark.parametrize("use_mmap", [False, True])
+    def test_corrupt_write_flag_carries_global_index(self, tmp_path,
+                                                     use_mmap):
+        path = self._trace(tmp_path, n=10)
+        # Flag column starts at 16 + 20 * 10; corrupt record 7.
+        self._corrupt_byte(path, 10, TRACE_V2_HEADER_SIZE + 20 * 10, 7, 0x7F)
+        with pytest.raises(ValueError, match="record 7: corrupt write flag "
+                                             r"0x7f \(expected 0 or 1\)"):
+            read_trace_v2(path, use_mmap=use_mmap)
+        # Chunked: records 0..2 and 3..5 stream out first, the error names
+        # the trace-global record, not its index inside chunk 2.
+        chunks = iter_trace_chunks(path, chunk_size=3, use_mmap=use_mmap)
+        seen = 0
+        with pytest.raises(ValueError, match="record 7: corrupt write "
+                                             "flag"):
+            for batch in chunks:
+                seen += len(batch)
+        assert seen == 6
+
+    def test_zero_size_carries_global_index(self, tmp_path):
+        path = self._trace(tmp_path, n=10)
+        # Size column (u32) starts at 16 + 16 * 10; zero record 5's size.
+        raw = bytearray(path.read_bytes())
+        start = TRACE_V2_HEADER_SIZE + 16 * 10 + 4 * 5
+        raw[start:start + 4] = b"\x00\x00\x00\x00"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="record 5: size must be "
+                                             "positive, got 0"):
+            read_trace_v2(path)
+        # The batch path only reads addresses + flags, so sizes validate
+        # through the record reader instead (each chunk validates before
+        # its records yield, so the error still names record 5).
+        with pytest.raises(ValueError, match="record 5: size must be "
+                                             "positive"):
+            list(read_trace_records(path))
+
+
+# --------------------------------------------------------------------- #
+# satellite 5: v1/text corruption precision survives chunked iteration
+# --------------------------------------------------------------------- #
+
+class TestChunkedCorruptionParity:
+    """Every corruption case of the one-shot readers, replayed through
+    ``iter_trace_chunks`` with a tiny chunk size: the earlier complete
+    chunks must stream out, then the error must carry its original
+    record/byte-offset (binary) or ``path:line`` (text) precision."""
+
+    def _stream(self, path, chunk_size=2):
+        yielded = []
+        chunks = iter_trace_chunks(path, chunk_size=chunk_size)
+        for batch in chunks:
+            yielded.extend(batch.addresses.tolist())
+        return yielded
+
+    @pytest.mark.parametrize("body,error", [
+        ("R 0x10 0x400 4\nW 0xZZ 0x404 8\n", r"bad\.txt:2: non-hex"),
+        ("# header\nR 0x10 0x400 four\n", r"bad\.txt:2: non-integer size"),
+        ("R 0x10 0x400 0\n", r"bad\.txt:1: size must be"),
+        ("R 0x10 0x400 -4\n", r"bad\.txt:1: size must be"),
+        ("R -0x10 0x400 4\n", r"bad\.txt:1: negative"),
+        ("R 0x10 0x0\n", r"bad\.txt:1: malformed record"),
+    ])
+    def test_text_errors_keep_line_precision(self, tmp_path, body, error):
+        path = tmp_path / "bad.txt"
+        path.write_text(body)
+        with pytest.raises(ValueError, match=error):
+            self._stream(path, chunk_size=1)
+
+    def test_text_chunks_before_the_bad_line_are_yielded(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        lines = [f"R {0x1000 + 8 * i:#x} 0x400 4" for i in range(5)]
+        lines.append("W 0xZZ 0x404 8")
+        path.write_text("\n".join(lines) + "\n")
+        yielded = []
+        with pytest.raises(ValueError, match=r"bad\.txt:6: non-hex"):
+            for batch in iter_trace_chunks(path, chunk_size=2):
+                yielded.extend(batch.addresses.tolist())
+        # Two complete chunks (records 0..3) streamed before the error;
+        # record 4 was trapped in the partial final chunk.
+        assert yielded == [0x1000 + 8 * i for i in range(4)]
+
+    def test_binary_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"CACT")
+        with pytest.raises(ValueError, match="truncated header"):
+            self._stream(path)
+
+    def test_binary_truncated_record_keeps_byte_offset(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        write_binary_trace(path, _records(4, seed=9))
+        path.write_bytes(path.read_bytes()[:-5])
+        yielded = []
+        with pytest.raises(ValueError) as excinfo:
+            for batch in iter_trace_chunks(path, chunk_size=2):
+                yielded.extend(batch.addresses.tolist())
+        assert "truncated record 3 at byte offset 80" in str(excinfo.value)
+        assert len(yielded) == 2  # chunk 0 (records 0-1) arrived intact
+
+    @pytest.mark.parametrize("record,error", [
+        (struct.pack("<QQIB3x", 0x1000, 0x400, 0, 0),
+         "size must be positive"),
+        (struct.pack("<QQIB3x", 0x1000, 0x400, 4, 0x7F),
+         "corrupt write flag 0x7f"),
+    ])
+    def test_binary_bad_record_values(self, tmp_path, record, error):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"CACTR1\0\0" + record)
+        with pytest.raises(ValueError, match=error):
+            self._stream(path)
+
+    def test_binary_nonzero_padding(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        record = bytearray(struct.pack("<QQIB3x", 0x1000, 0x400, 4, 1))
+        record[-1] = 0xAB
+        path.write_bytes(b"CACTR1\0\0" + bytes(record))
+        with pytest.raises(ValueError, match="corrupt padding"):
+            self._stream(path)
+
+    def test_binary_error_localises_later_records(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        good = struct.pack("<QQIB3x", 0x1000, 0x400, 4, 0)
+        bad = struct.pack("<QQIB3x", 0x2000, 0x404, 0, 0)
+        path.write_bytes(b"CACTR1\0\0" + good * 3 + bad)
+        yielded = []
+        with pytest.raises(ValueError, match="record 3 at byte offset 80"):
+            for batch in iter_trace_chunks(path, chunk_size=1):
+                yielded.extend(batch.addresses.tolist())
+        assert yielded == [0x1000] * 3
+
+    def test_chunk_size_must_be_positive(self, tmp_path):
+        path = tmp_path / "t.ctr"
+        write_trace_v2(path, [0x10])
+        with pytest.raises(ValueError, match="chunk_size must be at "
+                                             "least 1"):
+            iter_trace_chunks(path, chunk_size=0)
+
+
+# --------------------------------------------------------------------- #
+# chunked replay is bit-exact for every kernel family
+# --------------------------------------------------------------------- #
+
+def _set_assoc(**kwargs):
+    return BatchSetAssociativeCache(8192, 32, 2, **kwargs)
+
+
+_CACHE_FACTORIES = [
+    ("bitsel-lru", lambda: _set_assoc()),
+    ("bitsel-fifo", lambda: _set_assoc(replacement="fifo")),
+    ("bitsel-plru", lambda: _set_assoc(replacement="plru")),
+    ("bitsel-random", lambda: _set_assoc(replacement="random")),
+    ("skew-ipoly-lru", lambda: _set_assoc(
+        index_function=make_index_function("a2-Hp-Sk", num_sets=128,
+                                           ways=2))),
+    ("skew-ipoly-plru", lambda: _set_assoc(
+        index_function=make_index_function("a2-Hp-Sk", num_sets=128, ways=2),
+        replacement="plru")),
+    ("column-assoc", lambda: BatchColumnAssociativeCache(4096, 32)),
+    ("victim", lambda: BatchVictimCache(4096, 32, ways=1, victim_entries=8)),
+]
+
+
+class TestChunkedReplayBitExact:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        batch = _cache_batch()
+        path = tmp_path_factory.mktemp("stream") / "replay.ctr"
+        write_trace_v2(path, batch.addresses, is_write=batch.is_write)
+        return path, batch
+
+    @pytest.mark.parametrize("name,factory", _CACHE_FACTORIES,
+                             ids=[name for name, _ in _CACHE_FACTORIES])
+    @pytest.mark.parametrize("chunk_size", [256, 997])
+    def test_stats_and_state_tables_match_one_shot(self, trace_file, name,
+                                                   factory, chunk_size):
+        path, batch = trace_file
+        one_shot = factory()
+        one_shot.run(batch)
+        streamed = factory()
+        total = streamed.run_chunks(iter_trace_chunks(path,
+                                                      chunk_size=chunk_size))
+        assert total == len(batch)
+        assert streamed.stats == one_shot.stats
+        assert _state_tables(streamed) == _state_tables(one_shot)
+        # The carried state must also *behave* identically (covers RNG
+        # state of the random policy, which the tables cannot show).
+        probe = _cache_batch(n=400, seed=99, cold_loads=0)
+        assert np.array_equal(streamed.run(probe), one_shot.run(probe))
+        assert streamed.stats == one_shot.stats
+
+    def test_mmap_and_buffered_replay_agree(self, trace_file):
+        path, batch = trace_file
+        mapped, buffered = _set_assoc(), _set_assoc()
+        mapped.run_chunks(iter_trace_chunks(path, chunk_size=512,
+                                            use_mmap=True))
+        buffered.run_chunks(iter_trace_chunks(path, chunk_size=512))
+        assert mapped.stats == buffered.stats
+        assert _state_tables(mapped) == _state_tables(buffered)
+
+    def test_kernel_handoff_mid_stream(self, trace_file):
+        """A cold load-only first chunk runs the run-collapse kernel; the
+        dict kernel takes over when writes appear — bit-exact either way."""
+        path, batch = trace_file
+        one_shot = _set_assoc()
+        one_shot.run(batch)
+        streamed = _set_assoc()
+        streamed.run_chunks(iter_trace_chunks(path, chunk_size=256))
+        assert streamed.stats == one_shot.stats
+
+    def test_scalar_replay_from_chunks_matches_records(self, tmp_path):
+        records = _records(200, seed=11)
+        path = tmp_path / "t.ctr"
+        with TraceV2Writer(path) as writer:
+            writer.append_records(iter(records))
+        streamed = list(read_trace_records(path))
+        assert streamed == records
+
+
+class TestIncrementalProfilerBitExact:
+    LEVEL_CAPS = {1: 64, 32: 8, 128: 4}
+
+    def _chunks(self, batch, chunk_size):
+        for start in range(0, len(batch), chunk_size):
+            yield AddressBatch.from_arrays(
+                batch.addresses[start:start + chunk_size],
+                batch.is_write[start:start + chunk_size])
+
+    @pytest.mark.parametrize("write_policy", ["write-through-no-allocate",
+                                              "write-back-allocate"])
+    def test_multiconfig_builder_matches_one_shot(self, write_policy):
+        batch = _cache_batch(n=4000, seed=13)
+        one_shot = MultiConfigLRUProfile(batch, 32, self.LEVEL_CAPS,
+                                         write_policy=write_policy)
+        builder = MultiConfigProfileBuilder(32, self.LEVEL_CAPS,
+                                            write_policy=write_policy)
+        for chunk in self._chunks(batch, 613):
+            builder.feed(chunk)
+        incremental = builder.finish()
+        assert incremental.store_mode == one_shot.store_mode
+        assert incremental.levels == one_shot.levels
+        for num_sets, cap in self.LEVEL_CAPS.items():
+            for ways in range(1, cap + 1):
+                assert (incremental.miss_counts(num_sets, ways)
+                        == one_shot.miss_counts(num_sets, ways))
+
+    def test_loads_only_mode_matches_and_guards(self):
+        batch = _cache_batch(n=2000, seed=14, cold_loads=2000)
+        one_shot = MultiConfigLRUProfile(batch, 32, {1: 16, 128: 2})
+        builder = MultiConfigProfileBuilder(32, {1: 16, 128: 2},
+                                            has_stores=False)
+        for chunk in self._chunks(batch, 333):
+            builder.feed(chunk)
+        incremental = builder.finish()
+        assert incremental.store_mode == one_shot.store_mode == "loads"
+        assert (incremental.miss_counts(128, 2)
+                == one_shot.miss_counts(128, 2))
+        dirty = AddressBatch.from_arrays(np.array([64], dtype=np.uint64),
+                                         np.array([True]))
+        with pytest.raises(ValueError, match="has_stores=False"):
+            builder.feed(dirty)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1024])
+    def test_stack_distance_builder_matches_one_shot(self, chunk_size):
+        batch = _cache_batch(n=1500, seed=15)
+        one_shot = StackDistanceProfile.from_batch(batch, 32)
+        builder = StackDistanceBuilder()
+        for chunk in self._chunks(batch, chunk_size):
+            builder.feed_batch(chunk, 32)
+        incremental = builder.finish()
+        assert np.array_equal(incremental.distances, one_shot.distances)
+        assert np.array_equal(incremental.histogram, one_shot.histogram)
+
+    def test_builder_streams_from_disk(self, tmp_path):
+        batch = _cache_batch(n=2500, seed=16)
+        path = tmp_path / "t.ctr"
+        write_trace_v2(path, batch.addresses, is_write=batch.is_write)
+        one_shot = MultiConfigLRUProfile(batch, 32, {128: 2})
+        builder = MultiConfigProfileBuilder(32, {128: 2})
+        for chunk in iter_trace_chunks(path, chunk_size=499):
+            builder.feed(chunk)
+        assert (builder.finish().miss_counts(128, 2)
+                == one_shot.miss_counts(128, 2))
+
+
+# --------------------------------------------------------------------- #
+# property tests
+# --------------------------------------------------------------------- #
+
+def _column_strategy(address_max):
+    return st.integers(0, 80).flatmap(lambda n: st.tuples(
+        st.lists(st.integers(0, address_max), min_size=n, max_size=n),
+        st.lists(st.booleans(), min_size=n, max_size=n),
+        st.lists(st.integers(0, (1 << 64) - 1), min_size=n, max_size=n),
+        st.lists(st.integers(1, (1 << 32) - 1), min_size=n, max_size=n),
+    ))
+
+
+#: The format itself stores full u64 addresses ...
+_column_sets = _column_strategy((1 << 64) - 1)
+#: ... but the engine-facing chunk path builds ``AddressBatch``, which
+#: caps addresses below 2**63.
+_engine_column_sets = _column_strategy((1 << 63) - 1)
+
+
+class TestStreamProperties:
+    @given(columns=_column_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_v2_round_trips_any_valid_columns(self, columns):
+        addresses, flags, pcs, sizes = columns
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.ctr"
+            write_trace_v2(path, np.array(addresses, dtype=object),
+                           is_write=flags,
+                           pcs=np.array(pcs, dtype=object),
+                           sizes=np.array(sizes, dtype=object))
+            loaded = read_trace_v2(path)
+            assert loaded.addresses.tolist() == addresses
+            assert loaded.is_write.tolist() == flags
+            assert loaded.pcs.tolist() == pcs
+            assert loaded.sizes.tolist() == sizes
+
+    @given(columns=_engine_column_sets, chunk_size=st.integers(1, 97),
+           use_mmap=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_concatenation_is_the_identity(self, columns, chunk_size,
+                                                 use_mmap):
+        addresses, flags, pcs, sizes = columns
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.ctr"
+            write_trace_v2(path, np.array(addresses, dtype=object),
+                           is_write=flags,
+                           pcs=np.array(pcs, dtype=object),
+                           sizes=np.array(sizes, dtype=object))
+            streamed_addresses, streamed_writes = _drain(
+                path, chunk_size, use_mmap=use_mmap)
+            assert streamed_addresses.tolist() == addresses
+            assert streamed_writes.tolist() == flags
+
+    @given(chunk_size=st.integers(1, 64), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_chunked_cache_replay_matches_one_shot(self, tmp_path,
+                                                   chunk_size, seed):
+        batch = _cache_batch(n=300, seed=seed, cold_loads=50)
+        path = tmp_path / f"p{chunk_size}-{seed}.ctr"
+        write_trace_v2(path, batch.addresses, is_write=batch.is_write)
+        one_shot = _set_assoc()
+        one_shot.run(batch)
+        streamed = _set_assoc()
+        streamed.run_chunks(iter_trace_chunks(path, chunk_size=chunk_size))
+        assert streamed.stats == one_shot.stats
+
+
+# --------------------------------------------------------------------- #
+# satellite 4: deterministic fd release
+# --------------------------------------------------------------------- #
+
+class TestReaderLifecycle:
+    def _text(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_text_trace(path, _records(10, seed=17))
+        return path
+
+    def test_exhaustion_closes_the_reader(self, tmp_path):
+        reader = read_text_trace(self._text(tmp_path))
+        list(reader)
+        assert reader.closed
+
+    def test_early_stop_close_is_deterministic(self, tmp_path):
+        reader = read_trace_records(self._text(tmp_path))
+        next(reader)
+        assert not reader.closed
+        reader.close()
+        assert reader.closed
+        assert list(reader) == []  # closed readers never reopen
+
+    def test_with_block_closes_on_break(self, tmp_path):
+        with read_text_trace(self._text(tmp_path)) as reader:
+            next(reader)
+        assert reader.closed
+
+    def test_parse_error_closes_the_reader(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("R 0x10 0x400 4\nR 0xZZ 0x400 4\n")
+        reader = read_text_trace(path)
+        next(reader)
+        with pytest.raises(ValueError):
+            next(reader)
+        assert reader.closed
+
+    def test_din_reader_closes_on_error(self, tmp_path):
+        path = tmp_path / "bad.din"
+        path.write_text("0 1000\n9 2000\n")
+        reader = read_din_trace(path)
+        next(reader)
+        with pytest.raises(ValueError):
+            next(reader)
+        assert reader.closed
+
+    def test_abandoned_chunk_iterator_releases_the_fd(self, tmp_path):
+        path = self._text(tmp_path)
+        chunks = iter_trace_chunks(path, chunk_size=2)
+        next(chunks)
+        chunks.close()  # generator close must cascade to the reader
+
+
+# --------------------------------------------------------------------- #
+# streamed drivers and the committed .din fixture
+# --------------------------------------------------------------------- #
+
+class TestStreamedDrivers:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        batch = _cache_batch(n=2000, seed=18)
+        path = tmp_path / "driver.ctr"
+        write_trace_v2(path, batch.addresses, is_write=batch.is_write)
+        return path
+
+    def test_miss_ratio_study_engines_and_chunks_agree(self, trace_path):
+        from repro.experiments.miss_ratio_study import run_miss_ratio_study
+        vectorized = run_miss_ratio_study(engine="vectorized",
+                                          trace=str(trace_path),
+                                          trace_chunk=317)
+        reference = run_miss_ratio_study(engine="reference",
+                                         trace=str(trace_path))
+        one_chunk = run_miss_ratio_study(engine="vectorized",
+                                         trace=str(trace_path),
+                                         trace_chunk=1 << 20)
+        assert vectorized.miss_ratios == reference.miss_ratios
+        assert vectorized.miss_ratios == one_chunk.miss_ratios
+        assert list(vectorized.miss_ratios) == ["driver.ctr"]
+
+    def test_replacement_study_streams(self, trace_path):
+        from repro.experiments.replacement_study import run_replacement_study
+        result = run_replacement_study(engine="vectorized",
+                                       policies=["lru", "fifo"],
+                                       trace=str(trace_path),
+                                       trace_chunk=271)
+        reference = run_replacement_study(engine="reference",
+                                          policies=["lru", "fifo"],
+                                          trace=str(trace_path))
+        assert result.miss_ratios == reference.miss_ratios
+        assert result.programs == ["driver.ctr"]
+
+    def test_figure1_streams(self, trace_path):
+        from repro.experiments.figure1 import run_figure1
+        result = run_figure1(engine="vectorized", schemes=["a2", "a2-Hp-Sk"],
+                             trace=str(trace_path), trace_chunk=433)
+        reference = run_figure1(engine="reference",
+                                schemes=["a2", "a2-Hp-Sk"],
+                                trace=str(trace_path))
+        assert result.miss_ratios == reference.miss_ratios
+
+
+class TestDinGoldenFixture:
+    """The committed ``sample.din`` fixture keeps the importer and the
+    streamed study pinned to known-good numbers."""
+
+    FIXTURE = CORPUS / "sample.din"
+    PINNED = GOLDEN / "stream_din_study.json"
+
+    def test_fixture_parses_to_the_pinned_count(self):
+        records = list(read_din_trace(self.FIXTURE))
+        golden = json.loads(self.PINNED.read_text())
+        assert len(records) == golden["records"]
+        assert sum(r.is_write for r in records) == golden["stores"]
+
+    def test_streamed_study_matches_golden(self, tmp_path):
+        from repro.experiments.miss_ratio_study import run_miss_ratio_study
+        golden = json.loads(self.PINNED.read_text())
+        v2 = tmp_path / "sample.ctr"
+        assert import_din_trace(self.FIXTURE, v2) == golden["records"]
+        for engine in ("vectorized", "reference"):
+            result = run_miss_ratio_study(engine=engine, trace=str(v2),
+                                          trace_chunk=97)
+            ratios = result.miss_ratios["sample.ctr"]
+            assert ratios == pytest.approx(golden["miss_ratios"], abs=1e-9)
+
+    def test_din_streams_directly_without_conversion(self):
+        direct = _set_assoc()
+        direct.run_chunks(iter_trace_chunks(self.FIXTURE, chunk_size=37))
+        records = list(read_din_trace(self.FIXTURE))
+        one_shot = _set_assoc()
+        one_shot.run(AddressBatch.from_arrays(
+            np.array([r.address for r in records], dtype=np.uint64),
+            np.array([r.is_write for r in records])))
+        assert direct.stats == one_shot.stats
+
+
+# --------------------------------------------------------------------- #
+# nightly: a large on-disk trace sweeps under a fixed memory bound
+# --------------------------------------------------------------------- #
+
+_RSS_SCRIPT = """\
+import json, resource, sys
+from repro.engine.batch_cache import BatchSetAssociativeCache
+from repro.trace.stream import iter_trace_chunks
+
+cache = BatchSetAssociativeCache(8192, 32, 2)
+total = cache.run_chunks(iter_trace_chunks(sys.argv[1],
+                                           chunk_size=int(sys.argv[2])))
+print(json.dumps({
+    "accesses": total,
+    "load_misses": cache.stats.load_misses,
+    "store_misses": cache.stats.store_misses,
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+@pytest.mark.slow
+class TestStreamingMemoryBound:
+    """Stream a large generated v2 trace through a sweep in a subprocess
+    and assert its peak RSS against a fixed bound.
+
+    ``REPRO_STREAM_ACCESSES`` sizes the trace (the nightly CI job sets
+    50_000_000 — a ~1 GiB file, so the 512 MiB default bound is only
+    satisfiable by actually streaming); the default keeps an ordinary
+    ``-m slow`` run quick.  ``REPRO_STREAM_METRICS_JSON`` names a file to
+    write the measured row to (uploaded as a CI artifact).
+    """
+
+    def test_sweep_peak_rss_is_bounded(self, tmp_path):
+        accesses = int(os.environ.get("REPRO_STREAM_ACCESSES", "2000000"))
+        bound_kb = int(os.environ.get("REPRO_STREAM_RSS_BOUND_KB",
+                                      str(512 * 1024)))
+        chunk = 1 << 20
+        path = tmp_path / "big.ctr"
+        with TraceV2Writer(path) as writer:
+            remaining, seed = accesses, 0
+            while remaining:
+                n = min(chunk, remaining)
+                rng = np.random.default_rng(seed)
+                addresses = (rng.integers(0, 1 << 16, size=n,
+                                          dtype=np.uint64) * np.uint64(32))
+                writer.append(addresses, is_write=rng.random(n) < 0.25)
+                remaining -= n
+                seed += 1
+        assert path.stat().st_size == (TRACE_V2_HEADER_SIZE
+                                       + TRACE_V2_RECORD_BYTES * accesses)
+
+        env = dict(os.environ)
+        src = Path(__file__).parent.parent / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + env.get("PYTHONPATH", "").split(os.pathsep))
+        completed = subprocess.run(
+            [sys.executable, "-c", _RSS_SCRIPT, str(path), str(chunk)],
+            capture_output=True, text=True, env=env, check=True)
+        row = json.loads(completed.stdout)
+        assert row["accesses"] == accesses
+        assert row["load_misses"] + row["store_misses"] > 0
+        metrics = {**row, "trace_bytes": path.stat().st_size,
+                   "chunk_size": chunk, "rss_bound_kb": bound_kb}
+        out = os.environ.get("REPRO_STREAM_METRICS_JSON")
+        if out:
+            Path(out).write_text(json.dumps(metrics, indent=2) + "\n")
+        assert row["ru_maxrss_kb"] <= bound_kb, (
+            f"streaming sweep peaked at {row['ru_maxrss_kb']} KB RSS, "
+            f"bound is {bound_kb} KB for a "
+            f"{path.stat().st_size >> 20} MiB trace")
