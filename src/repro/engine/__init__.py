@@ -24,9 +24,13 @@ through :mod:`repro.engine.checkpoint`; :mod:`repro.engine.faults` is the
 deterministic chaos harness that proves those paths bit-exact).
 :mod:`repro.engine.multiconfig` prices whole conventional-LRU
 capacity/associativity sweeps out of single stack-distance /
-all-associativity trace passes (``MultiConfigPlan`` partitions a sweep's
-tasks into profilable and kernel-run configurations; drivers expose the
-policy as ``profile={"auto", "always", "never"}``).
+all-associativity trace passes, and FIFO grids out of miss-driven event
+replays of one occurrence-list pass (``MultiConfigPlan`` partitions a
+sweep's tasks into profilable and kernel-run configurations; drivers
+expose the policy as ``profile={"auto", "always", "never", "sampled"}``,
+where ``"sampled"`` prices LRU groups approximately through the SHARDS
+spatial-sampling profiles of :mod:`repro.engine.shards` at
+``--sample-rate``/``--sample-size``/``--profile-seed``).
 
 Experiment drivers expose the choice as ``engine={"reference", "vectorized"}``
 (CLI: ``--engine``); :data:`ENGINES` names the valid values.
@@ -57,6 +61,9 @@ from .memo import (
 )
 from .multiconfig import (
     PROFILE_MODES,
+    MultiCapacityFIFOProfile,
+    MultiConfigFIFOBuilder,
+    MultiConfigFIFOProfile,
     MultiConfigLRUProfile,
     MultiConfigPlan,
     MultiConfigProfileBuilder,
@@ -67,6 +74,12 @@ from .multiconfig import (
     profile_cache_clear,
     profile_cache_info,
     run_lru_grid,
+)
+from .shards import (
+    SampledMultiConfigLRUProfile,
+    SampledMultiConfigProfileBuilder,
+    SampledStackDistanceBuilder,
+    SampledStackDistanceProfile,
 )
 from .replacement_vec import (
     VecReplacementState,
@@ -133,6 +146,13 @@ __all__ = [
     "StackDistanceBuilder",
     "MultiConfigLRUProfile",
     "MultiConfigProfileBuilder",
+    "MultiCapacityFIFOProfile",
+    "MultiConfigFIFOProfile",
+    "MultiConfigFIFOBuilder",
+    "SampledStackDistanceProfile",
+    "SampledStackDistanceBuilder",
+    "SampledMultiConfigLRUProfile",
+    "SampledMultiConfigProfileBuilder",
     "MultiConfigPlan",
     "run_lru_grid",
     "profile_cache_info",

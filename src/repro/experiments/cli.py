@@ -92,6 +92,17 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _unit_rate(text: str) -> float:
+    """Argparse type: a float in (0, 1] (the SHARDS sampling rate)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1], got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -143,10 +154,27 @@ def build_parser() -> argparse.ArgumentParser:
     def add_profile(parser_: argparse.ArgumentParser) -> None:
         parser_.add_argument("--profile", choices=list(PROFILE_MODES),
                              default="auto",
-                             help="one-pass multi-configuration LRU profiling "
-                                  "on the vectorized engine: auto (profile "
-                                  "when it wins), always, never — bit-exact "
-                                  "in every mode")
+                             help="one-pass multi-configuration LRU/FIFO "
+                                  "profiling on the vectorized engine: auto "
+                                  "(profile when it wins), always, never — "
+                                  "bit-exact — or sampled (approximate "
+                                  "SHARDS-sampled LRU profiles)")
+        parser_.add_argument("--sample-rate", dest="sample_rate",
+                             type=_unit_rate, default=0.01,
+                             help="profile=sampled: spatial sampling rate in "
+                                  "(0, 1]; 1.0 degenerates to the exact "
+                                  "profile")
+        parser_.add_argument("--sample-size", dest="sample_size",
+                             type=_positive_int, default=None,
+                             help="profile=sampled: cap the expected sample "
+                                  "to about this many accesses (fixed-size "
+                                  "SHARDS; lowers the effective rate on "
+                                  "long traces)")
+        parser_.add_argument("--profile-seed", dest="profile_seed",
+                             type=_nonnegative_int, default=0,
+                             help="profile=sampled: seed of the spatial hash "
+                                  "(same seed + rate => bit-identical "
+                                  "sampled results)")
 
     def add_trace(parser_: argparse.ArgumentParser) -> None:
         parser_.add_argument("--trace", default=None, metavar="FILE",
@@ -223,14 +251,20 @@ def _run_experiment(args: argparse.Namespace) -> str:
         return {"timeout": args_.timeout, "retries": args_.retries,
                 "on_error": args_.on_error, "resume": args_.resume}
 
+    def profile_options(args_: argparse.Namespace) -> dict:
+        return {"profile": args_.profile, "sample_rate": args_.sample_rate,
+                "sample_size": args_.sample_size,
+                "profile_seed": args_.profile_seed}
+
     if args.experiment == "figure1":
         result = run_figure1(max_stride=args.max_stride, sweeps=args.sweeps,
                              stride_step=args.stride_step,
                              engine=args.engine, workers=args.workers,
                              chunksize=args.chunksize,
                              replacement=args.replacement,
-                             profile=args.profile, trace=args.trace,
+                             trace=args.trace,
                              trace_chunk=args.trace_chunk,
+                             **profile_options(args),
                              **fault_options(args))
         return result.render()
     if args.experiment == "table2":
@@ -259,7 +293,7 @@ def _run_experiment(args: argparse.Namespace) -> str:
                                       replacement=args.replacement,
                                       workers=args.workers,
                                       chunksize=args.chunksize,
-                                      profile=args.profile,
+                                      **profile_options(args),
                                       trace=args.trace,
                                       trace_chunk=args.trace_chunk,
                                       **fault_options(args))
@@ -270,7 +304,7 @@ def _run_experiment(args: argparse.Namespace) -> str:
                                        engine=args.engine,
                                        workers=args.workers,
                                        chunksize=args.chunksize,
-                                       profile=args.profile,
+                                       **profile_options(args),
                                        trace=args.trace,
                                        trace_chunk=args.trace_chunk,
                                        **fault_options(args))

@@ -89,7 +89,10 @@ def stride_miss_ratio(scheme: str, stride: int,
                       sweeps: int = 8, address_bits: int = 19,
                       engine: str = ENGINE_REFERENCE,
                       replacement: Optional[str] = None,
-                      profile: str = "auto") -> float:
+                      profile: str = "auto",
+                      sample_rate: float = 0.01,
+                      sample_size: Optional[int] = None,
+                      profile_seed: int = 0) -> float:
     """Miss ratio of one (scheme, stride) pair under the Figure 1 workload.
 
     ``sweeps`` controls how many times the vector is traversed; the first
@@ -121,7 +124,9 @@ def stride_miss_ratio(scheme: str, stride: int,
                 ways=geometry.ways, index_function=index_fn,
                 replacement=replacement)
 
-        plan = MultiConfigPlan(profile=profile)
+        plan = MultiConfigPlan(profile=profile, sample_rate=sample_rate,
+                               sample_size=sample_size,
+                               profile_seed=profile_seed)
         plan.add("row", batch, factory)
         return plan.run()["row"].miss_ratio
     cache = build_cache(geometry, scheme, address_bits=address_bits,
@@ -133,19 +138,23 @@ def stride_miss_ratio(scheme: str, stride: int,
 
 
 #: One (scheme, stride) work item of the sweep, with everything a worker
-#: process needs to rebuild the simulation.
+#: process needs to rebuild the simulation.  The trailing triple is the
+#: sampled-profiling configuration ``(sample_rate, sample_size, seed)``.
 _SweepTask = Tuple[str, int, CacheGeometry, int, int, int, str, Optional[str],
-                   str]
+                   str, Tuple[float, Optional[int], int]]
 
 
 def _stride_task(task: _SweepTask) -> float:
     """Module-level sweep worker (must be picklable for process pools)."""
     (scheme, stride, geometry, elements, sweeps, address_bits, engine,
-     replacement, profile) = task
+     replacement, profile, sampling) = task
+    sample_rate, sample_size, profile_seed = sampling
     return stride_miss_ratio(scheme, stride, geometry=geometry,
                              elements=elements, sweeps=sweeps,
                              address_bits=address_bits, engine=engine,
-                             replacement=replacement, profile=profile)
+                             replacement=replacement, profile=profile,
+                             sample_rate=sample_rate, sample_size=sample_size,
+                             profile_seed=profile_seed)
 
 
 def _stride_chunk_task(chunk: List[_SweepTask]) -> List[float]:
@@ -170,6 +179,9 @@ def run_figure1(max_stride: int = 4096,
                 address_bits: int = 19,
                 replacement: Optional[str] = None,
                 profile: str = "auto",
+                sample_rate: float = 0.01,
+                sample_size: Optional[int] = None,
+                profile_seed: int = 0,
                 timeout: Optional[float] = None,
                 retries: int = 0,
                 on_error: str = "raise",
@@ -203,10 +215,15 @@ def run_figure1(max_stride: int = 4096,
         the paper's LRU).
     profile:
         Multi-configuration profiling policy on the vectorized engine
-        (``auto``/``always``/``never`` — see
+        (``auto``/``always``/``never``/``sampled`` — see
         :class:`~repro.engine.multiconfig.MultiConfigPlan`); every stride is
-        its own trace, so only ``"always"`` moves the conventional LRU rows
-        onto the one-pass profiler.
+        its own trace, so only ``"always"`` (or ``"sampled"``) moves the
+        conventional LRU rows onto the one-pass profiler.
+    sample_rate, sample_size, profile_seed:
+        SHARDS sampled-profiling knobs, used only under
+        ``profile="sampled"`` (see :mod:`repro.engine.shards`): the spatial
+        sampling rate in (0, 1], an optional cap on the expected number of
+        sampled blocks, and the hash seed.
     timeout, retries, on_error, resume:
         Fault-tolerance knobs forwarded to
         :func:`repro.engine.sweep.run_sweep`.  The dispatched work item is a
@@ -265,7 +282,8 @@ def run_figure1(max_stride: int = 4096,
     for scheme in schemes:
         scheme_tasks: List[_SweepTask] = [
             (scheme, stride, geometry, elements, sweeps, address_bits,
-             engine, replacement, profile)
+             engine, replacement, profile,
+             (sample_rate, sample_size, profile_seed))
             for stride in strides
         ]
         chunks.extend(chunk_tasks(scheme_tasks, chunksize))

@@ -212,7 +212,10 @@ def _replay_batch(cache, batch: AddressBatch) -> None:
 
 def _program_miss_ratios(name: str, accesses: int, seed: int, engine: str,
                          organisation_map: Mapping[str, Callable],
-                         profile: str = "auto") -> Dict[str, float]:
+                         profile: str = "auto",
+                         sample_rate: float = 0.01,
+                         sample_size: Optional[int] = None,
+                         profile_seed: int = 0) -> Dict[str, float]:
     """Load miss ratio (percent) of every organisation for one program."""
     per_org: Dict[str, float] = {}
     if engine == ENGINE_VECTORIZED:
@@ -224,7 +227,9 @@ def _program_miss_ratios(name: str, accesses: int, seed: int, engine: str,
         # shared stack-distance profile when that wins (or when forced).
         batch = AddressBatch.from_arrays(
             *cached_workload_arrays(name, length=accesses, seed=seed))
-        plan = MultiConfigPlan(profile=profile)
+        plan = MultiConfigPlan(profile=profile, sample_rate=sample_rate,
+                               sample_size=sample_size,
+                               profile_seed=profile_seed)
         for label, factory in organisation_map.items():
             plan.add(label, batch, factory, runner=_replay_batch)
         counts = plan.run()
@@ -241,18 +246,23 @@ def _program_miss_ratios(name: str, accesses: int, seed: int, engine: str,
 
 #: One per-program work item of the parallel study: everything a worker
 #: process needs to rebuild the default organisations and replay the trace.
-_StudyTask = Tuple[str, int, int, str, Optional[str], str]
+_StudyTask = Tuple[str, int, int, str, Optional[str], str,
+                   Tuple[float, Optional[int], int]]
 
 
 def _study_program_task(task: _StudyTask) -> Dict[str, float]:
     """Module-level sweep worker (must be picklable for process pools)."""
-    name, accesses, seed, engine, replacement, profile = task
+    name, accesses, seed, engine, replacement, profile, sampling = task
+    sample_rate, sample_size, profile_seed = sampling
     if engine == ENGINE_VECTORIZED:
         organisation_map = default_batch_organisations(replacement=replacement)
     else:
         organisation_map = default_organisations(replacement=replacement)
     return _program_miss_ratios(name, accesses, seed, engine,
-                                organisation_map, profile=profile)
+                                organisation_map, profile=profile,
+                                sample_rate=sample_rate,
+                                sample_size=sample_size,
+                                profile_seed=profile_seed)
 
 
 def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
@@ -264,6 +274,9 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
                          workers: Optional[int] = None,
                          chunksize: Optional[int] = None,
                          profile: str = "auto",
+                         sample_rate: float = 0.01,
+                         sample_size: Optional[int] = None,
+                         profile_seed: int = 0,
                          timeout: Optional[float] = None,
                          retries: int = 0,
                          on_error: str = "raise",
@@ -285,7 +298,10 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
     ``organisations`` mapping is not generally picklable, so it always runs
     serially.  ``profile`` selects the multi-configuration profiling policy
     of the vectorized path (``auto``/``always``/``never`` — bit-exact in
-    every mode).
+    each of those — or ``"sampled"``, which prices the conventional LRU
+    rows approximately through the SHARDS profiles of
+    :mod:`repro.engine.shards` at ``sample_rate``/``sample_size``/
+    ``profile_seed``).
 
     ``timeout`` (seconds per program), ``retries``, ``on_error`` and
     ``resume`` (sweep-journal path, appended to and resumed from) are
@@ -324,11 +340,13 @@ def run_miss_ratio_study(programs: Optional[Sequence[str]] = None,
         for name in program_list:
             result.miss_ratios[name] = _program_miss_ratios(
                 name, accesses, seed, engine, organisation_map,
-                profile=profile)
+                profile=profile, sample_rate=sample_rate,
+                sample_size=sample_size, profile_seed=profile_seed)
         return result
 
     tasks: List[_StudyTask] = [
-        (name, accesses, seed, engine, replacement, profile)
+        (name, accesses, seed, engine, replacement, profile,
+         (sample_rate, sample_size, profile_seed))
         for name in program_list
     ]
     per_program = run_sweep(_study_program_task, tasks, workers=workers,

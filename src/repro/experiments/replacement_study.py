@@ -122,12 +122,14 @@ class ReplacementStudyResult:
 #: One per-program work item of the parallel study (picklable primitives
 #: only; the geometry is rebuilt from its defining numbers).
 _StudyTask = Tuple[str, int, int, str, Tuple[str, ...], Tuple[int, int, int],
-                   str]
+                   str, Tuple[float, Optional[int], int]]
 
 
 def _program_policy_ratios(task: _StudyTask) -> Dict[str, Dict[str, float]]:
     """Module-level sweep worker: one program's organisation x policy grid."""
-    name, accesses, seed, engine, policy_list, geometry_tuple, profile = task
+    (name, accesses, seed, engine, policy_list, geometry_tuple, profile,
+     sampling) = task
+    sample_rate, sample_size, profile_seed = sampling
     geometry = CacheGeometry(size_bytes=geometry_tuple[0],
                              block_size=geometry_tuple[1],
                              ways=geometry_tuple[2])
@@ -143,7 +145,9 @@ def _program_policy_ratios(task: _StudyTask) -> Dict[str, Dict[str, float]]:
         # one-pass stack-distance profiler when that wins (or when forced).
         batch = AddressBatch.from_arrays(
             *cached_workload_arrays(name, length=accesses, seed=seed))
-        plan = MultiConfigPlan(profile=profile)
+        plan = MultiConfigPlan(profile=profile, sample_rate=sample_rate,
+                               sample_size=sample_size,
+                               profile_seed=profile_seed)
         for label, kind, params in _STUDY_ORGANISATIONS:
             for policy in policy_list:
                 plan.add((label, policy), batch,
@@ -173,6 +177,9 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
                           workers: Optional[int] = None,
                           chunksize: Optional[int] = None,
                           profile: str = "auto",
+                          sample_rate: float = 0.01,
+                          sample_size: Optional[int] = None,
+                          profile_seed: int = 0,
                           timeout: Optional[float] = None,
                           retries: int = 0,
                           on_error: str = "raise",
@@ -188,8 +195,10 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
     produce identical numbers.  ``workers`` fans the per-program tasks
     across a process pool (``chunksize`` groups programs per dispatch so a
     worker reuses its materialised traces); ``profile`` selects the
-    multi-configuration profiling policy of the vectorized LRU rows
-    (``auto``/``always``/``never`` — bit-exact in every mode).
+    multi-configuration profiling policy of the vectorized LRU and FIFO rows
+    (``auto``/``always``/``never`` — bit-exact — or ``sampled``, which prices
+    the LRU rows approximately via SHARDS spatial sampling at ``sample_rate``
+    / ``sample_size`` / ``profile_seed``; FIFO rows stay exact).
     ``timeout``/``retries``/``on_error``/``resume`` are forwarded to
     :func:`repro.engine.sweep.run_sweep`; under ``on_error="collect"`` a
     failed program lands in ``result.failures`` and the averages cover the
@@ -234,7 +243,8 @@ def run_replacement_study(programs: Optional[Sequence[str]] = None,
                                     policies=policy_list)
     tasks: List[_StudyTask] = [
         (name, accesses, seed, engine, tuple(policy_list),
-         (geometry.size_bytes, geometry.block_size, geometry.ways), profile)
+         (geometry.size_bytes, geometry.block_size, geometry.ways), profile,
+         (sample_rate, sample_size, profile_seed))
         for name in program_list
     ]
     per_program = run_sweep(_program_policy_ratios, tasks, workers=workers,

@@ -108,6 +108,41 @@ class TestParser:
             build_parser().parse_args(argv)
         assert "--trace-chunk" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("command", ["figure1", "miss-ratio",
+                                         "replacement-study"])
+    def test_sampling_options_parity(self, command):
+        """--sample-rate/--sample-size/--profile-seed exist on every
+        profiling command and default to the documented knob values."""
+        parser = build_parser()
+        defaults = parser.parse_args([command])
+        assert defaults.sample_rate == 0.01
+        assert defaults.sample_size is None
+        assert defaults.profile_seed == 0
+        args = parser.parse_args(
+            [command, "--profile", "sampled", "--sample-rate", "0.05",
+             "--sample-size", "4096", "--profile-seed", "7"])
+        assert args.profile == "sampled"
+        assert args.sample_rate == 0.05
+        assert args.sample_size == 4096
+        assert args.profile_seed == 7
+
+    @pytest.mark.parametrize("argv", [
+        ["figure1", "--sample-rate", "0"],
+        ["miss-ratio", "--sample-rate", "-0.1"],
+        ["replacement-study", "--sample-rate", "1.5"],
+        ["figure1", "--sample-rate", "lots"],
+        ["miss-ratio", "--sample-size", "0"],
+        ["replacement-study", "--sample-size", "-8"],
+        ["figure1", "--profile-seed", "-1"],
+        ["miss-ratio", "--profile-seed", "x"],
+    ])
+    def test_bad_sampling_values_rejected_at_parse_time(self, argv, capsys):
+        """Invalid sampling knobs die in argparse (clear usage error),
+        never deep inside a driver or the plan constructor."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        assert argv[1] in capsys.readouterr().err  # error names the flag
+
     def test_holes_options(self):
         args = build_parser().parse_args(
             ["holes", "--accesses", "5000", "--l2-kilobytes", "64", "256",

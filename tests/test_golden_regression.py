@@ -220,6 +220,33 @@ def test_lru_grid_profile_matches_golden(profile):
     assert load_miss_ratios == golden["load_miss_ratios"]
 
 
+def test_sampled_grid_profile_matches_golden():
+    """SHARDS-sampled miss-ratio grid: the sampled profile is a pure
+    function of (trace, rate, seed), so each profile seed's estimates are
+    pinned *exactly* — any drift in the spatial hash, the mini-cache
+    scaling or the ratio readout fails here."""
+    from repro.engine import AddressBatch, run_lru_grid
+    from repro.trace.batching import cached_workload_arrays
+
+    golden = load_golden("sampled_grid_profile.json")
+    params = golden["params"]
+    batch = AddressBatch.from_arrays(*cached_workload_arrays(
+        params["program"], length=params["accesses"], seed=params["seed"]))
+    grid = [(num_sets, ways) for num_sets in params["num_sets"]
+            for ways in params["ways"]]
+    for profile_seed in params["profile_seeds"]:
+        results = run_lru_grid(batch, params["block_size"], grid,
+                               profile="sampled",
+                               sample_rate=params["sample_rate"],
+                               profile_seed=profile_seed)
+        miss_ratios = {
+            str(num_sets): {str(ways): results[(num_sets, ways)].miss_ratio
+                            for ways in params["ways"]}
+            for num_sets in params["num_sets"]
+        }
+        assert miss_ratios == golden["miss_ratios"][str(profile_seed)]
+
+
 @pytest.mark.parametrize("engine", list(ENGINES))
 def test_holes_study_matches_golden(engine):
     """Section 3.3 hole study: pins the virtual-real Inclusion protocol —

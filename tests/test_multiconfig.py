@@ -16,8 +16,12 @@ from repro.core.index import SingleSetIndexing, make_index_function
 from repro.engine import (
     AddressBatch,
     BatchSetAssociativeCache,
+    MultiCapacityFIFOProfile,
+    MultiConfigFIFOBuilder,
+    MultiConfigFIFOProfile,
     MultiConfigLRUProfile,
     MultiConfigPlan,
+    MultiConfigProfileBuilder,
     ProfileCounts,
     StackDistanceProfile,
     check_profile_mode,
@@ -38,9 +42,11 @@ def batch_of_blocks(blocks, writes=None):
 
 
 def kernel_counts(batch, num_sets, ways,
-                  write_policy=WritePolicy.WRITE_THROUGH_NO_ALLOCATE):
+                  write_policy=WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+                  replacement="lru"):
     cache = BatchSetAssociativeCache(num_sets * ways * BLOCK, BLOCK, ways,
-                                     write_policy=write_policy)
+                                     write_policy=write_policy,
+                                     replacement=replacement)
     cache.run(batch)
     return ProfileCounts.from_stats(cache.stats)
 
@@ -250,6 +256,13 @@ class TestMultiConfigPlan:
         assert MultiConfigPlan.profilable(skewed, batch) is None
         fifo = BatchSetAssociativeCache(8192, BLOCK, 2, replacement="fifo")
         assert MultiConfigPlan.profilable(fifo, batch) is None
+        assert MultiConfigPlan.profilable_fifo(fifo, batch) == (128, 2)
+        conventional_not_fifo = BatchSetAssociativeCache(8192, BLOCK, 2)
+        assert MultiConfigPlan.profilable_fifo(
+            conventional_not_fifo, batch) is None
+        random_policy = BatchSetAssociativeCache(8192, BLOCK, 2,
+                                                 replacement="random")
+        assert MultiConfigPlan.profilable_fifo(random_policy, batch) is None
         classified = BatchSetAssociativeCache(8192, BLOCK, 2,
                                               classify_misses=True)
         assert MultiConfigPlan.profilable(classified, batch) is None
@@ -360,6 +373,31 @@ class TestMultiConfigPlan:
         assert results["loads"] == kernel_counts(all_loads_mask, 1, 2)
         assert results["stores"] != results["loads"]
 
+    def test_profile_never_runs_every_kernel(self):
+        """``profile="never"`` must produce the same numbers with zero
+        profile passes — every configuration on its own kernel."""
+        addresses, writes = cached_workload_arrays("li", length=3000)
+        batch = AddressBatch.from_arrays(addresses, writes)
+        grid = [(num_sets, ways) for num_sets in (16, 64) for ways in (1, 2, 4)]
+        profile_cache_clear()
+        never = run_lru_grid(batch, BLOCK, grid, profile="never")
+        assert profile_cache_info()["misses"] == 0
+        assert profile_cache_info()["hits"] == 0
+        for (num_sets, ways), counts in never.items():
+            assert counts == kernel_counts(batch, num_sets, ways)
+
+    def test_empty_trace_grid(self):
+        """A 0-access batch prices to all-zero counters in every mode."""
+        batch = batch_of_blocks([])
+        grid = [(16, 2), (64, 4)]
+        zero = ProfileCounts(loads=0, stores=0, load_misses=0, store_misses=0)
+        for mode in ("auto", "always", "never", "sampled"):
+            results = run_lru_grid(batch, BLOCK, grid, profile=mode)
+            assert results == {key: zero for key in grid}, mode
+        fifo = run_lru_grid(batch, BLOCK, grid, profile="always",
+                            replacement="fifo")
+        assert fifo == {key: zero for key in grid}
+
     def test_grid_against_scalar_models(self):
         addresses, writes = cached_workload_arrays("compress", length=4000)
         batch = AddressBatch.from_arrays(addresses, writes)
@@ -372,3 +410,194 @@ class TestMultiConfigPlan:
                 scalar.access(address, is_write=is_write)
             assert counts == ProfileCounts.from_stats(scalar.stats), (
                 num_sets, ways)
+
+class TestMultiConfigFIFOProfile:
+    """The single-pass FIFO grid: miss-driven event replays vs kernels."""
+
+    def test_validates_geometry_and_policy(self):
+        batch = batch_of_blocks([0, 1])
+        with pytest.raises(ValueError):
+            MultiConfigFIFOProfile(batch, BLOCK, {3: 2})  # not a power of two
+        with pytest.raises(ValueError):
+            MultiConfigFIFOProfile(batch, BLOCK, {})      # no levels
+        with pytest.raises(ValueError):
+            MultiConfigFIFOProfile(batch, BLOCK, {4: 2}, write_policy="bogus")
+
+    def test_readout_guards(self):
+        batch = batch_of_blocks([0, 1, 2])
+        profile = MultiConfigFIFOProfile(batch, BLOCK, {4: 2})
+        with pytest.raises(KeyError):
+            profile.miss_counts(8, 2)     # level never declared
+        with pytest.raises(ValueError):
+            profile.miss_counts(4, 3)     # beyond the declared depth cap
+        with pytest.raises(ValueError):
+            profile.miss_counts(4, 0)
+
+    def test_beladys_anomaly_is_reproduced(self):
+        """FIFO is not a stack algorithm: the classic anomaly trace misses
+        *more* at four frames than at three — the per-capacity event
+        replays must reproduce it (a stack-style readout cannot)."""
+        anomaly = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        batch = batch_of_blocks(anomaly)
+        profile = MultiConfigFIFOProfile(batch, BLOCK, {1: 4})
+        assert profile.miss_counts(1, 3).misses == 9
+        assert profile.miss_counts(1, 4).misses == 10
+
+    def test_matches_kernels_across_grid_and_policies(self):
+        addresses, writes = cached_workload_arrays("gcc", length=6000)
+        batch = AddressBatch.from_arrays(addresses, writes)
+        for policy in (WritePolicy.WRITE_THROUGH_NO_ALLOCATE,
+                       WritePolicy.WRITE_BACK_ALLOCATE):
+            profile = MultiConfigFIFOProfile(batch, BLOCK, {16: 8, 64: 8},
+                                             write_policy=policy)
+            for num_sets in (16, 64):
+                for ways in (1, 2, 3, 4, 8):
+                    assert (profile.miss_counts(num_sets, ways)
+                            == kernel_counts(batch, num_sets, ways,
+                                             write_policy=policy,
+                                             replacement="fifo")), (
+                        policy, num_sets, ways)
+
+    def test_loads_only_stream(self):
+        batch = batch_of_blocks([0, 1, 2, 0, 1, 2, 3, 0])
+        profile = MultiConfigFIFOProfile(batch, BLOCK, {1: 4})
+        assert profile.store_mode == "loads"
+        assert profile.miss_counts(1, 3) == kernel_counts(
+            batch, 1, 3, replacement="fifo")
+
+    def test_empty_trace(self):
+        profile = MultiConfigFIFOProfile(batch_of_blocks([]), BLOCK, {4: 2})
+        assert profile.accesses == 0
+        assert profile.miss_counts(4, 2).miss_ratio == 0.0
+
+    def test_builder_chunked_equals_one_shot(self):
+        addresses, writes = cached_workload_arrays("m88ksim", length=9000)
+        batch = AddressBatch.from_arrays(addresses, writes)
+        one_shot = MultiConfigFIFOProfile(batch, BLOCK, {64: 4})
+        builder = MultiConfigFIFOBuilder(BLOCK, {64: 4}, has_stores=True)
+        for start in range(0, 9000, 1234):
+            builder.feed(AddressBatch.from_arrays(
+                addresses[start:start + 1234], writes[start:start + 1234]))
+        chunked = builder.finish()
+        for ways in (1, 2, 4):
+            assert (chunked.miss_counts(64, ways)
+                    == one_shot.miss_counts(64, ways))
+
+    def test_builder_rejects_mid_stream_store_mode_change(self):
+        builder = MultiConfigFIFOBuilder(BLOCK, {16: 2}, has_stores=False)
+        builder.feed(batch_of_blocks([0, 1, 2]))
+        with pytest.raises(ValueError, match="store mode changed mid-stream"):
+            builder.feed(batch_of_blocks([3, 4], [True, False]))
+
+
+class TestMultiCapacityFIFOProfile:
+    def test_validates_capacities(self):
+        blocks = np.array([0, 1, 2], dtype=np.int64)
+        with pytest.raises(ValueError):
+            MultiCapacityFIFOProfile(blocks, [])
+        with pytest.raises(ValueError):
+            MultiCapacityFIFOProfile(blocks, [0, 4])
+
+    def test_matches_fully_associative_fifo_kernel(self):
+        rng = np.random.default_rng(17)
+        blocks = rng.integers(0, 80, size=4000)
+        batch = batch_of_blocks(blocks.tolist())
+        capacities = [1, 2, 7, 16, 33, 64, 100]
+        profile = MultiCapacityFIFOProfile(blocks, capacities)
+        for capacity in capacities:
+            cache = BatchSetAssociativeCache(
+                capacity * BLOCK, BLOCK, capacity,
+                index_function=SingleSetIndexing(), replacement="fifo")
+            cache.run(batch)
+            assert profile.miss_count(capacity) == cache.stats.misses
+            assert profile.hit_count(capacity) == cache.stats.hits
+
+    def test_curve_and_guards(self):
+        blocks = np.array([0, 1, 2, 0, 1, 2], dtype=np.int64)
+        profile = MultiCapacityFIFOProfile(blocks, [2, 3])
+        assert profile.miss_count(2) == 6    # thrashes below the footprint
+        assert profile.miss_count(3) == 3    # compulsory only
+        assert profile.miss_ratio(3) == 0.5
+        assert profile.miss_ratio_curve().tolist() == [1.0, 0.5]
+        with pytest.raises(KeyError):
+            profile.miss_count(4)            # capacity not declared
+
+    def test_from_batch_and_empty_stream(self):
+        batch = batch_of_blocks([0, 1, 0])
+        profile = MultiCapacityFIFOProfile.from_batch(batch, BLOCK, [2])
+        assert profile.miss_count(2) == 2
+        empty = MultiCapacityFIFOProfile(np.empty(0, dtype=np.int64), [4])
+        assert empty.miss_ratio(4) == 0.0
+
+
+class TestFIFOPlanRouting:
+    """MultiConfigPlan must price FIFO grids off the one-pass profile,
+    bit-exact with per-config kernels in every profiled mode."""
+
+    def test_fifo_grid_every_mode_is_bit_exact(self):
+        addresses, writes = cached_workload_arrays("compress", length=5000)
+        batch = AddressBatch.from_arrays(addresses, writes)
+        grid = [(num_sets, ways) for num_sets in (32, 128)
+                for ways in (1, 2, 4)]
+        results = {mode: run_lru_grid(batch, BLOCK, grid, profile=mode,
+                                      replacement="fifo")
+                   for mode in ("auto", "always", "never", "sampled")}
+        assert results["always"] == results["never"]
+        assert results["auto"] == results["never"]
+        # FIFO tasks have no sampled path: "sampled" prices them exactly.
+        assert results["sampled"] == results["never"]
+
+    def test_fifo_grid_against_scalar_models(self):
+        addresses, writes = cached_workload_arrays("li", length=3000)
+        batch = AddressBatch.from_arrays(addresses, writes)
+        grid = [(16, 2), (64, 1), (64, 4)]
+        results = run_lru_grid(batch, BLOCK, grid, profile="always",
+                               replacement="fifo")
+        for (num_sets, ways), counts in results.items():
+            scalar = SetAssociativeCache(num_sets * ways * BLOCK, BLOCK,
+                                         ways, replacement="fifo")
+            for address, is_write in zip(batch.addresses.tolist(),
+                                         batch.is_write.tolist()):
+                scalar.access(address, is_write=is_write)
+            assert counts == ProfileCounts.from_stats(scalar.stats), (
+                num_sets, ways)
+
+    def test_mixed_lru_and_fifo_plan(self):
+        """LRU and FIFO tasks over one batch group separately, each priced
+        by its own profile kind, both exact."""
+        addresses, writes = cached_workload_arrays("go", length=4000)
+        batch = AddressBatch.from_arrays(addresses, writes)
+        plan = MultiConfigPlan(profile="always")
+        for ways in (1, 2, 4):
+            plan.add(("lru", ways), batch,
+                     lambda ways=ways: BatchSetAssociativeCache(
+                         64 * ways * BLOCK, BLOCK, ways))
+            plan.add(("fifo", ways), batch,
+                     lambda ways=ways: BatchSetAssociativeCache(
+                         64 * ways * BLOCK, BLOCK, ways, replacement="fifo"))
+        results = plan.run()
+        for ways in (1, 2, 4):
+            assert results[("lru", ways)] == kernel_counts(batch, 64, ways)
+            assert results[("fifo", ways)] == kernel_counts(
+                batch, 64, ways, replacement="fifo")
+
+
+class TestExactBuilderStoreModeGuard:
+    """Regression: chunks disagreeing on has_stores must raise a clear
+    error up front, not silently drift the profile's stats."""
+
+    def test_exact_builder_rejects_mid_stream_store_mode_change(self):
+        builder = MultiConfigProfileBuilder(BLOCK, {16: 2}, has_stores=False)
+        builder.feed(batch_of_blocks([0, 1, 2]))
+        with pytest.raises(ValueError) as err:
+            builder.feed(batch_of_blocks([3, 4], [True, False]))
+        message = str(err.value)
+        assert "store mode changed mid-stream" in message
+        assert "after 3 accesses" in message
+        assert "has_stores=True" in message   # the message names the fix
+
+    def test_declared_stores_accept_any_chunk_mix(self):
+        builder = MultiConfigProfileBuilder(BLOCK, {16: 2}, has_stores=True)
+        builder.feed(batch_of_blocks([0, 1, 2]))                # all loads
+        builder.feed(batch_of_blocks([3, 4], [True, False]))    # mixed
+        assert builder.finish().miss_counts(16, 2).accesses == 5

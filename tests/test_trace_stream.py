@@ -327,6 +327,21 @@ class TestZstdGate:
             import zstandard  # noqa: F401
         except ImportError:
             zstandard = None
+        # CI pins the expected state per matrix leg so both branches are
+        # known to run somewhere: REPRO_REQUIRE_ZSTD=1 on a leg that
+        # installs zstandard (real reader/writer round-trip), =0 on a leg
+        # without it (install-hint error path).  Unset (the local default)
+        # exercises whichever branch the environment offers.
+        required = os.environ.get("REPRO_REQUIRE_ZSTD", "")
+        if required == "1":
+            assert zstandard is not None, (
+                "REPRO_REQUIRE_ZSTD=1 but the zstandard module is absent: "
+                "this CI leg must install it so the zstd path really runs")
+        elif required == "0":
+            assert zstandard is None, (
+                "REPRO_REQUIRE_ZSTD=0 but the zstandard module is present: "
+                "this CI leg must NOT install it so the install-hint "
+                "ValueError path really runs")
         path = tmp_path / "t.ctr.zst"
         if zstandard is None:
             with pytest.raises(ValueError, match="zstandard"):
